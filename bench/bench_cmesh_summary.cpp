@@ -1,0 +1,62 @@
+// Regenerates the paper's concentrated-mesh result (Sec. IV-B2): on the
+// 4x4 cmesh (16 routers / 64 cores) DozzNoC saves less than on the mesh —
+// paper: 39% static, 18% dynamic, -5% throughput, +2% latency — because
+// four cores share each router and their idle phases rarely align.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "cmesh summary: DozzNoC on the 4x4 concentrated mesh, window 500",
+      "paper: 39% static, 18% dynamic savings for -5% throughput, +2% "
+      "latency (both smaller than the mesh's 53%/25%/-7%/+3%)");
+
+  const SimSetup setup = bench::paper_cmesh_setup();
+  const TrainingOptions opts = bench::paper_training_options(setup);
+  const WeightVector weights =
+      load_or_train(PolicyKind::kDozzNoc, setup, opts);
+
+  TextTable table({"benchmark", "compression", "static savings",
+                   "dynamic savings", "throughput loss", "latency increase",
+                   "off time"});
+  double sum_static = 0.0;
+  double sum_dynamic = 0.0;
+  double sum_tp = 0.0;
+  double sum_lat = 0.0;
+  int n = 0;
+  for (double compression : {1.0, kCompressedFactor}) {
+    for (const auto& name : test_benchmarks()) {
+      const Trace trace = make_benchmark_trace(setup, name, compression);
+      const NetworkMetrics base =
+          run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+      const NetworkMetrics dozz =
+          run_policy(setup, PolicyKind::kDozzNoc, trace, weights).metrics;
+      const double st = 1.0 - dozz.static_energy_j / base.static_energy_j;
+      const double dy = 1.0 - (dozz.dynamic_energy_j + dozz.ml_energy_j) /
+                                  base.dynamic_energy_j;
+      const double tp = 1.0 - dozz.throughput_flits_per_ns() /
+                                  base.throughput_flits_per_ns();
+      const double lat = dozz.packet_latency_ns.mean() /
+                             base.packet_latency_ns.mean() -
+                         1.0;
+      sum_static += st;
+      sum_dynamic += dy;
+      sum_tp += tp;
+      sum_lat += lat;
+      ++n;
+      table.add_row({name, compression == 1.0 ? "uncompressed" : "compressed",
+                     TextTable::pct(st), TextTable::pct(dy),
+                     TextTable::pct(tp), TextTable::pct(lat),
+                     TextTable::pct(dozz.off_time_fraction)});
+    }
+  }
+  table.add_row({"AVERAGE", "-", TextTable::pct(sum_static / n),
+                 TextTable::pct(sum_dynamic / n), TextTable::pct(sum_tp / n),
+                 TextTable::pct(sum_lat / n), "-"});
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation (paper Sec. IV-B1): epoch (window) size sweep 100-1000 cycles.
+// Each epoch size gets its own separately trained model, as in the paper,
+// so the offline-sampled labels learn the inter-epoch dependencies of that
+// window length.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "Ablation: DVFS window (epoch) size sweep for DozzNoC, 8x8 mesh",
+      "paper: tested 100-1000, chose 500 as the best trade-off between model "
+      "performance and training-data volume");
+
+  TextTable table({"epoch (cycles)", "static savings", "dynamic savings",
+                   "throughput loss", "latency increase", "mode switches"});
+
+  for (std::uint64_t epoch : {100ull, 250ull, 500ull, 1000ull}) {
+    SimSetup setup = bench::paper_mesh_setup();
+    setup.noc.epoch_cycles = epoch;
+    TrainingOptions opts = bench::paper_training_options(setup);
+    // Keep the per-epoch-size training affordable: shorter gather runs.
+    opts.gather_cycles = scaled_cycles(8000);
+    const WeightVector weights =
+        load_or_train(PolicyKind::kDozzNoc, setup, opts);
+
+    double sum_static = 0.0;
+    double sum_dynamic = 0.0;
+    double sum_tp = 0.0;
+    double sum_lat = 0.0;
+    std::uint64_t switches = 0;
+    int n = 0;
+    for (double compression : {1.0, kCompressedFactor}) {
+      for (const auto& name : test_benchmarks()) {
+        const Trace trace = make_benchmark_trace(setup, name, compression);
+        const NetworkMetrics base =
+            run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+        const NetworkMetrics dozz =
+            run_policy(setup, PolicyKind::kDozzNoc, trace, weights).metrics;
+        sum_static += 1.0 - dozz.static_energy_j / base.static_energy_j;
+        sum_dynamic += 1.0 - (dozz.dynamic_energy_j + dozz.ml_energy_j) /
+                                 base.dynamic_energy_j;
+        sum_tp += 1.0 - dozz.throughput_flits_per_ns() /
+                            base.throughput_flits_per_ns();
+        sum_lat += dozz.packet_latency_ns.mean() /
+                       base.packet_latency_ns.mean() -
+                   1.0;
+        switches += dozz.mode_switches;
+        ++n;
+      }
+    }
+    table.add_row({std::to_string(epoch), TextTable::pct(sum_static / n),
+                   TextTable::pct(sum_dynamic / n),
+                   TextTable::pct(sum_tp / n), TextTable::pct(sum_lat / n),
+                   std::to_string(switches)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected shape: small windows switch modes constantly (higher "
+              "T-Switch overhead,\nmore throughput loss); very large windows "
+              "react too slowly and save less energy.\n");
+  return 0;
+}

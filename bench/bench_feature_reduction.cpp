@@ -1,0 +1,98 @@
+// Feature-reduction study (paper Sec. IV-B1): DozzNoC trained and deployed
+// with the original 41-feature set vs the reduced Table IV 5-feature set.
+// The paper's claim: "almost no impact on throughput, latency, dynamic
+// energy savings, static power savings, or EDP" — while the label-compute
+// overhead drops from 61.1 pJ / 0.122 mm^2 to 7.1 pJ / 0.013 mm^2.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/power/power_model.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "Feature reduction: DozzNoC-41 vs DozzNoC-5, 8x8 mesh, window 500",
+      "paper: no measurable loss from reducing 41 features to the Table IV "
+      "five; label cost drops 61.1 pJ -> 7.1 pJ, 0.122 mm^2 -> 0.013 mm^2");
+
+  SimSetup setup = bench::paper_mesh_setup();
+  TrainingOptions opts = bench::paper_training_options(setup);
+
+  std::printf("training DozzNoC-5 (Table IV features)...\n");
+  const WeightVector w5 = load_or_train(PolicyKind::kDozzNoc, setup, opts);
+  std::printf("training DozzNoC-41 (extended features)...\n");
+  const TrainedModel m41 =
+      train_extended_model(PolicyKind::kDozzNoc, setup, opts);
+
+  const Topology topo = setup.make_topology();
+  std::printf("extended set: %zu features; validation MSE %.6f (R^2 %.3f)\n\n",
+              m41.weights.weights.size(), m41.validation_mse,
+              m41.validation_r2);
+
+  TextTable table({"benchmark", "compression", "metric", "DozzNoC-5",
+                   "DozzNoC-41", "delta"});
+  double sums[2][4] = {};  // [model][static, dynamic, throughput, latency]
+  int n = 0;
+  for (double compression : {1.0, kCompressedFactor}) {
+    for (const auto& name : test_benchmarks()) {
+      const Trace trace = make_benchmark_trace(setup, name, compression);
+      const NetworkMetrics base =
+          run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+
+      auto p5 = make_policy(PolicyKind::kDozzNoc, topo.num_routers(), w5);
+      const NetworkMetrics r5 =
+          run_simulation(setup, *p5, trace).metrics;
+      ProactiveExtendedMlPolicy p41(PolicyKind::kDozzNoc, m41.weights,
+                                    topo.num_routers());
+      const NetworkMetrics r41 = run_simulation(setup, p41, trace).metrics;
+
+      const double vals5[4] = {
+          1.0 - r5.static_energy_j / base.static_energy_j,
+          1.0 - (r5.dynamic_energy_j + r5.ml_energy_j) /
+                    base.dynamic_energy_j,
+          1.0 - r5.throughput_flits_per_ns() / base.throughput_flits_per_ns(),
+          r5.network_latency_ns.mean() / base.network_latency_ns.mean() - 1.0};
+      const double vals41[4] = {
+          1.0 - r41.static_energy_j / base.static_energy_j,
+          1.0 - (r41.dynamic_energy_j + r41.ml_energy_j) /
+                    base.dynamic_energy_j,
+          1.0 - r41.throughput_flits_per_ns() /
+                    base.throughput_flits_per_ns(),
+          r41.network_latency_ns.mean() / base.network_latency_ns.mean() -
+              1.0};
+      const char* metric_names[4] = {"static savings", "dynamic savings",
+                                     "throughput loss", "latency increase"};
+      for (int k = 0; k < 4; ++k) {
+        sums[0][k] += vals5[k];
+        sums[1][k] += vals41[k];
+      }
+      ++n;
+      table.add_row({name, compression == 1.0 ? "uncompr." : "compr.",
+                     metric_names[0], TextTable::pct(vals5[0]),
+                     TextTable::pct(vals41[0]),
+                     TextTable::pct(vals41[0] - vals5[0])});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  TextTable avg({"metric (avg over 10 runs)", "DozzNoC-5", "DozzNoC-41",
+                 "delta"});
+  const char* metric_names[4] = {"static savings", "dynamic savings",
+                                 "throughput loss", "latency increase"};
+  for (int k = 0; k < 4; ++k) {
+    avg.add_row({metric_names[k], TextTable::pct(sums[0][k] / n),
+                 TextTable::pct(sums[1][k] / n),
+                 TextTable::pct((sums[1][k] - sums[0][k]) / n)});
+  }
+  std::printf("%s\n", avg.render().c_str());
+
+  MlOverheadModel ml5(5);
+  MlOverheadModel ml41(static_cast<int>(m41.weights.weights.size()));
+  std::printf("label overhead: DozzNoC-5 %.1f pJ / %.3f mm^2 vs "
+              "DozzNoC-41 %.1f pJ / %.3f mm^2\n",
+              ml5.label_energy_j() * 1e12, ml5.area_mm2(),
+              ml41.label_energy_j() * 1e12, ml41.area_mm2());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates paper Fig. 7: the breakdown of predicted DVFS modes (M3-M7)
+// per benchmark for the three ML models — DozzNoC, LEAD-tau and ML+TURBO —
+// on the 8x8 mesh, uncompressed traces, window 500.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "Fig. 7: predicted DVFS mode distribution (8x8 mesh, uncompressed, "
+      "window 500)",
+      "low modes dominate at light load; ML+TURBO shifts mass toward M7");
+
+  const SimSetup setup = bench::paper_mesh_setup();
+  const TrainingOptions opts = bench::paper_training_options(setup);
+
+  for (PolicyKind kind :
+       {PolicyKind::kDozzNoc, PolicyKind::kLeadTau, PolicyKind::kMlTurbo}) {
+    const WeightVector weights = load_or_train(kind, setup, opts);
+    std::printf("--- %s ---\n", policy_name(kind).c_str());
+    TextTable table({"benchmark", "M3", "M4", "M5", "M6", "M7"});
+    std::array<double, kNumVfModes> avg{};
+    for (const auto& name : test_benchmarks()) {
+      const Trace trace = make_benchmark_trace(setup, name, 1.0);
+      const NetworkMetrics m =
+          run_policy(setup, kind, trace, weights).metrics;
+      std::uint64_t total = 0;
+      for (auto n : m.epoch_mode_counts) total += n;
+      std::vector<std::string> row{name};
+      for (int i = 0; i < kNumVfModes; ++i) {
+        const double frac =
+            total == 0 ? 0.0
+                       : static_cast<double>(
+                             m.epoch_mode_counts[static_cast<std::size_t>(i)]) /
+                             static_cast<double>(total);
+        avg[static_cast<std::size_t>(i)] += frac;
+        row.push_back(TextTable::pct(frac));
+      }
+      table.add_row(std::move(row));
+    }
+    std::vector<std::string> avg_row{"AVERAGE"};
+    for (double a : avg)
+      avg_row.push_back(
+          TextTable::pct(a / static_cast<double>(test_benchmarks().size())));
+    table.add_row(std::move(avg_row));
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Regenerates paper Fig. 8 on the 8x8 mesh, window 500:
+//   (a) throughput for compressed traces across the five models,
+//   (b) static power and dynamic energy normalized to baseline, compressed,
+//   (c) the same for uncompressed traces.
+// Also prints the paper's headline summary numbers next to ours.
+#include <cstdio>
+
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+namespace {
+
+using namespace dozz;
+
+struct Row {
+  double throughput = 0.0;   // flits/ns
+  double latency_ns = 0.0;   // mean packet latency
+  double static_j = 0.0;
+  double dynamic_j = 0.0;
+  double off_fraction = 0.0;
+};
+
+Row run_one(const SimSetup& setup, PolicyKind kind, const Trace& trace,
+            const std::optional<WeightVector>& weights) {
+  const NetworkMetrics m = run_policy(setup, kind, trace, weights).metrics;
+  Row r;
+  r.throughput = m.throughput_flits_per_ns();
+  r.latency_ns = m.network_latency_ns.mean();
+  r.static_j = m.static_energy_j;
+  r.dynamic_j = m.dynamic_energy_j + m.ml_energy_j;
+  r.off_fraction = m.off_time_fraction;
+  return r;
+}
+
+void run_suite(const SimSetup& setup,
+               const std::map<PolicyKind, std::optional<WeightVector>>& models,
+               double compression, const char* label) {
+  std::printf("=== traces: %s ===\n", label);
+  TextTable tp({"benchmark", "Baseline", "PG", "LEAD-tau", "DozzNoC",
+                "ML+TURBO"});
+  TextTable stat({"benchmark", "PG", "LEAD-tau", "DozzNoC", "ML+TURBO"});
+  TextTable dyn({"benchmark", "PG", "LEAD-tau", "DozzNoC", "ML+TURBO"});
+
+  std::map<PolicyKind, Row> sums;
+  Row base_sum;
+  for (const auto& name : test_benchmarks()) {
+    const Trace trace = make_benchmark_trace(setup, name, compression);
+    std::map<PolicyKind, Row> rows;
+    for (const auto& [kind, weights] : models)
+      rows[kind] = run_one(setup, kind, trace, weights);
+
+    const Row& base = rows.at(PolicyKind::kBaseline);
+    base_sum.throughput += base.throughput;
+    base_sum.latency_ns += base.latency_ns;
+    base_sum.static_j += base.static_j;
+    base_sum.dynamic_j += base.dynamic_j;
+
+    std::vector<std::string> tp_row{name};
+    std::vector<std::string> st_row{name};
+    std::vector<std::string> dy_row{name};
+    for (PolicyKind kind : all_policy_kinds()) {
+      const Row& r = rows.at(kind);
+      auto& s = sums[kind];
+      s.throughput += r.throughput;
+      s.latency_ns += r.latency_ns;
+      s.static_j += r.static_j;
+      s.dynamic_j += r.dynamic_j;
+      s.off_fraction += r.off_fraction;
+      tp_row.push_back(TextTable::fmt(r.throughput, 3) + " fl/ns");
+      if (kind != PolicyKind::kBaseline) {
+        st_row.push_back(TextTable::pct(r.static_j / base.static_j));
+        dy_row.push_back(TextTable::pct(r.dynamic_j / base.dynamic_j));
+      }
+    }
+    tp.add_row(std::move(tp_row));
+    stat.add_row(std::move(st_row));
+    dyn.add_row(std::move(dy_row));
+  }
+
+  std::printf("(a) delivered throughput:\n%s\n", tp.render().c_str());
+  std::printf("(b) static energy, normalized to baseline:\n%s\n",
+              stat.render().c_str());
+  std::printf("(c) dynamic energy (incl. ML overhead), normalized:\n%s\n",
+              dyn.render().c_str());
+
+  // Per-model averages vs baseline.
+  TextTable summary({"model", "static savings", "dynamic savings",
+                     "throughput loss", "latency increase", "avg off time"});
+  for (PolicyKind kind : all_policy_kinds()) {
+    if (kind == PolicyKind::kBaseline) continue;
+    const Row& s = sums.at(kind);
+    summary.add_row(
+        {policy_name(kind),
+         TextTable::pct(1.0 - s.static_j / base_sum.static_j),
+         TextTable::pct(1.0 - s.dynamic_j / base_sum.dynamic_j),
+         TextTable::pct(1.0 - s.throughput / base_sum.throughput),
+         TextTable::pct(s.latency_ns / base_sum.latency_ns - 1.0),
+         TextTable::pct(s.off_fraction /
+                        static_cast<double>(test_benchmarks().size()))});
+  }
+  std::printf("summary (averages over the 5 test traces):\n%s\n",
+              summary.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 8: throughput and normalized static/dynamic energy, 8x8 mesh, "
+      "window 500",
+      "paper summary (mesh, epoch 500): PG 47% static / -9% tput; LEAD-tau "
+      "25%/25% / -3%; DozzNoC 53% static, 25% dynamic / -7% tput, +3% "
+      "latency; ML+TURBO 52%/21% / -7%");
+
+  const SimSetup setup = bench::paper_mesh_setup();
+  const TrainingOptions opts = bench::paper_training_options(setup);
+
+  std::map<PolicyKind, std::optional<WeightVector>> models;
+  models[PolicyKind::kBaseline] = std::nullopt;
+  models[PolicyKind::kPowerGate] = std::nullopt;
+  for (PolicyKind kind :
+       {PolicyKind::kLeadTau, PolicyKind::kDozzNoc, PolicyKind::kMlTurbo})
+    models[kind] = load_or_train(kind, setup, opts);
+
+  run_suite(setup, models, kCompressedFactor, "compressed (4x load)");
+  run_suite(setup, models, 1.0, "uncompressed");
+  return 0;
+}

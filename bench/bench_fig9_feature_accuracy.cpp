@@ -1,0 +1,79 @@
+// Regenerates paper Fig. 9 (the Fig. 11 trade-off study): mode selection
+// accuracy when the DozzNoC model is trained on a single feature (plus the
+// all-ones bias), per test benchmark. Also prints Table IV (the reduced
+// feature set) and the full 5-feature model's accuracy for comparison.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "Fig. 9: single-feature mode-selection accuracy (DozzNoC, 5 test "
+      "traces)",
+      "current IBU ~80%; router off time & core traffic ~40%; combining the "
+      "top features loses nothing vs the 41-feature model");
+
+  std::printf("Table IV (reduced feature set):\n");
+  TextTable t4({"feature", "description"});
+  t4.add_row({"bias", "Array of 1s"});
+  t4.add_row({"reqs_sent", "Requests sent by the cores connected to router"});
+  t4.add_row({"reqs_received", "Requests received by those cores"});
+  t4.add_row({"total_off_kcycles", "Router total off time"});
+  t4.add_row({"current_ibu", "Current input buffer utilization"});
+  t4.add_row({"label", "Future input buffer utilization"});
+  std::printf("%s\n", t4.render().c_str());
+
+  SimSetup setup = bench::paper_mesh_setup();
+  TrainingOptions opts = bench::paper_training_options(setup);
+
+  // Gather train/validation/test datasets once from the DozzNoC reactive
+  // twin (the same data generation the full pipeline uses).
+  const Dataset train =
+      gather_dataset(PolicyKind::kDozzNoc, setup, training_benchmarks(), opts);
+  const Dataset val = gather_dataset(PolicyKind::kDozzNoc, setup,
+                                     validation_benchmarks(), opts);
+
+  // Per-benchmark test datasets so the figure shows accuracy per trace.
+  std::vector<std::pair<std::string, Dataset>> tests;
+  for (const auto& name : test_benchmarks())
+    tests.emplace_back(
+        name, gather_dataset(PolicyKind::kDozzNoc, setup, {name}, opts));
+
+  TextTable table({"feature", "x264", "barnes", "fft", "lu", "radix",
+                   "average"});
+  for (std::size_t col = 1; col < EpochFeatures::names().size(); ++col) {
+    std::vector<std::string> row{EpochFeatures::names()[col]};
+    double sum = 0.0;
+    for (auto& [name, test] : tests) {
+      const SingleFeatureResult r = evaluate_single_feature(
+          col, train, val, test, default_lambda_grid());
+      sum += r.mode_accuracy;
+      row.push_back(TextTable::pct(r.mode_accuracy));
+    }
+    row.push_back(TextTable::pct(sum / static_cast<double>(tests.size())));
+    table.add_row(std::move(row));
+  }
+
+  // Full 5-feature model for reference (the DozzNoC-5 configuration).
+  {
+    const StandardScaler scaler = StandardScaler::fit(train);
+    const TuningResult tuning =
+        tune_lambda(scaler.transform(train), scaler.transform(val),
+                    default_lambda_grid());
+    const WeightVector w = fold_scaler(tuning.best, scaler);
+    std::vector<std::string> row{"ALL-5 (DozzNoC-5)"};
+    double sum = 0.0;
+    for (auto& [name, test] : tests) {
+      const double acc = mode_selection_accuracy(w, test);
+      sum += acc;
+      row.push_back(TextTable::pct(acc));
+    }
+    row.push_back(TextTable::pct(sum / static_cast<double>(tests.size())));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Cross-validation on first-principles traffic: reruns the headline
+// comparison on traces produced by the full-system-lite core/cache model
+// (trafficgen/fullsystem.hpp) instead of the statistical phase generators.
+// If the paper-shape conclusions only held for one traffic model, that
+// would be a red flag; they should hold for both.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/trafficgen/fullsystem.hpp"
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "Cross-validation: policies on full-system-lite traces (8x8 mesh)",
+      "the Fig. 8 orderings must also hold for cache-hierarchy-derived "
+      "traffic: PG saves static only; LEAD saves dynamic; DozzNoC both");
+
+  const SimSetup setup = bench::paper_mesh_setup();
+  const TrainingOptions opts = bench::paper_training_options(setup);
+  // Deploy the weights trained on the synthetic benchmark suite: a real
+  // generalization test, since these traces come from a different model.
+  const WeightVector weights =
+      load_or_train(PolicyKind::kDozzNoc, setup, opts);
+  const WeightVector lead_weights =
+      load_or_train(PolicyKind::kLeadTau, setup, opts);
+
+  const Topology topo = setup.make_topology();
+  TextTable table({"workload", "model", "static savings", "dynamic savings",
+                   "throughput loss", "off time"});
+  for (const auto& profile : fullsystem_profiles()) {
+    const Trace trace =
+        generate_fullsystem_trace(profile, topo, setup.duration_cycles);
+    const NetworkMetrics base =
+        run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+    struct Entry {
+      PolicyKind kind;
+      const WeightVector* w;
+    };
+    const Entry entries[] = {
+        {PolicyKind::kPowerGate, nullptr},
+        {PolicyKind::kLeadTau, &lead_weights},
+        {PolicyKind::kDozzNoc, &weights},
+    };
+    for (const auto& e : entries) {
+      const NetworkMetrics m =
+          run_policy(setup, e.kind, trace,
+                     e.w != nullptr ? std::optional<WeightVector>(*e.w)
+                                    : std::nullopt)
+              .metrics;
+      table.add_row(
+          {profile.name, policy_name(e.kind),
+           TextTable::pct(1.0 - m.static_energy_j / base.static_energy_j),
+           TextTable::pct(1.0 - (m.dynamic_energy_j + m.ml_energy_j) /
+                                    base.dynamic_energy_j),
+           TextTable::pct(1.0 - m.throughput_flits_per_ns() /
+                                    base.throughput_flits_per_ns()),
+           TextTable::pct(m.off_time_fraction)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,201 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// network stepping throughput, trace generation, ridge training, and the
+// per-label runtime path (the operations Sec. III-D costs in hardware).
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/core/policies.hpp"
+#include "src/ml/mlp.hpp"
+#include "src/ml/ridge.hpp"
+#include "src/ml/scaler.hpp"
+#include "src/noc/extended_features.hpp"
+#include "src/noc/network.hpp"
+#include "src/regulator/simo_converter.hpp"
+#include "src/power/power_model.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/sim/runner.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+#include "src/trafficgen/patterns.hpp"
+
+namespace {
+
+using namespace dozz;
+
+void BM_NetworkStep_Mesh8x8(benchmark::State& state) {
+  const Topology topo = make_mesh();
+  NocConfig config;
+  config.auto_response = false;
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  const std::uint64_t cycles = 2000;
+  const Trace trace = generate_synthetic_trace(
+      topo, uniform_pattern(topo.num_cores()), rate, cycles, 42);
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    BaselinePolicy policy;
+    Network net(topo, config, policy, power, regulator);
+    net.run(trace, cycles * kBaselinePeriodTicks);
+    delivered += net.metrics().flits_delivered;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * cycles * static_cast<std::uint64_t>(
+          topo.num_routers())));
+  state.counters["flits"] = static_cast<double>(delivered) /
+                            static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_NetworkStep_Mesh8x8)->Arg(5)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetworkStep_PowerGated(benchmark::State& state) {
+  const Topology topo = make_mesh();
+  NocConfig config;
+  config.auto_response = false;
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  const std::uint64_t cycles = 2000;
+  const Trace trace = generate_synthetic_trace(
+      topo, uniform_pattern(topo.num_cores()), 0.005, cycles, 42);
+  for (auto _ : state) {
+    PowerGatePolicy policy;
+    Network net(topo, config, policy, power, regulator);
+    net.run(trace, cycles * kBaselinePeriodTicks);
+    benchmark::DoNotOptimize(net.metrics().packets_delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * cycles * static_cast<std::uint64_t>(
+          topo.num_routers())));
+}
+BENCHMARK(BM_NetworkStep_PowerGated)->Unit(benchmark::kMillisecond);
+
+void BM_BenchmarkTraceGeneration(benchmark::State& state) {
+  const Topology topo = make_mesh();
+  const auto& profile = benchmark_profile("canneal");
+  for (auto _ : state) {
+    const Trace t = generate_benchmark_trace(profile, topo, 20000);
+    benchmark::DoNotOptimize(t.size());
+  }
+}
+BENCHMARK(BM_BenchmarkTraceGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_RidgeFit(benchmark::State& state) {
+  Dataset d(EpochFeatures::names());
+  Rng rng(3);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const double ibu = rng.next_double() * 0.4;
+    d.add({1.0, rng.next_double() * 20, rng.next_double() * 20,
+           rng.next_double() * 10, ibu},
+          ibu * 0.9 + 0.01 * rng.next_gaussian());
+  }
+  for (auto _ : state) {
+    const WeightVector w =
+        RidgeRegression::fit(d, {.lambda = 0.1, .penalize_bias = false});
+    benchmark::DoNotOptimize(w.weights[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RidgeFit)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LabelGenerate(benchmark::State& state) {
+  WeightVector w;
+  w.feature_names = EpochFeatures::names();
+  w.weights = {0.01, 0.002, 0.001, -0.0001, 0.85};
+  LabelGenerateUnit unit(w);
+  EpochFeatures f;
+  f.reqs_sent = 12;
+  f.reqs_received = 9;
+  f.total_off_kcycles = 3.5;
+  f.current_ibu = 0.12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.generate(f));
+    f.current_ibu += 1e-9;  // defeat value caching
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LabelGenerate);
+
+void BM_NetworkStep_Torus8x8(benchmark::State& state) {
+  const Topology topo = make_torus();
+  NocConfig config;
+  config.auto_response = false;
+  config.vc_classes = 2;
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  const std::uint64_t cycles = 2000;
+  const Trace trace = generate_synthetic_trace(
+      topo, uniform_pattern(topo.num_cores()), 0.02, cycles, 42);
+  for (auto _ : state) {
+    BaselinePolicy policy;
+    Network net(topo, config, policy, power, regulator);
+    net.run(trace, cycles * kBaselinePeriodTicks);
+    benchmark::DoNotOptimize(net.metrics().flits_delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * cycles * static_cast<std::uint64_t>(
+          topo.num_routers())));
+}
+BENCHMARK(BM_NetworkStep_Torus8x8)->Unit(benchmark::kMillisecond);
+
+void BM_MlpFit(benchmark::State& state) {
+  Dataset d(EpochFeatures::names());
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const double ibu = rng.next_double() * 0.4;
+    d.add({1.0, rng.next_double() * 20, rng.next_double() * 20,
+           rng.next_double() * 10, ibu},
+          ibu * 0.9);
+  }
+  for (auto _ : state) {
+    MlpOptions opts;
+    opts.hidden_units = static_cast<int>(state.range(0));
+    opts.epochs = 10;
+    MlpRegressor mlp(d.num_features(), opts);
+    benchmark::DoNotOptimize(mlp.fit(d));
+  }
+}
+BENCHMARK(BM_MlpFit)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_ConverterSolve(benchmark::State& state) {
+  SimoConverter conv;
+  RailLoads loads;
+  loads.i12 = 2.0;
+  loads.i11 = 0.4;
+  loads.i09 = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.solve(loads).efficiency);
+    loads.i12 += 1e-12;  // defeat caching
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConverterSolve);
+
+void BM_ExtendedFeatureBuild(benchmark::State& state) {
+  ExtendedFeatureInputs in;
+  in.counters.port_occ_mean.assign(5, 0.25);
+  in.counters.port_occ_peak.assign(5, 3.0);
+  in.counters.port_arrivals.assign(5, 17.0);
+  in.counters.port_departures.assign(5, 16.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_extended_features(in).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExtendedFeatureBuild);
+
+void BM_WeightsSerialization(benchmark::State& state) {
+  WeightVector w;
+  w.feature_names = EpochFeatures::names();
+  w.weights = {0.01, 0.002, 0.001, -0.0001, 0.85};
+  for (auto _ : state) {
+    std::stringstream buf;
+    w.save(buf);
+    const WeightVector back = WeightVector::load(buf);
+    benchmark::DoNotOptimize(back.weights[4]);
+  }
+}
+BENCHMARK(BM_WeightsSerialization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

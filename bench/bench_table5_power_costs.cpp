@@ -1,0 +1,44 @@
+// Regenerates paper Table V: static power and dynamic energy to hop across
+// the router and a link, per V/F mode (DSENT, 22 nm, 128-bit flits).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/power/power_model.hpp"
+#include "src/regulator/simo_ldo.hpp"
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "Table V: router+link static power / dynamic energy per mode",
+      "0.8V: 0.036 J/s, 25.1 pJ/hop ... 1.2V: 0.054 J/s, 56.5 pJ/hop");
+
+  PowerModel pm;
+  SimoLdoRegulator reg;
+  TextTable table({"Volt.", "Freq.", "Static (J/s)", "Static (cycle-rel)",
+                   "Dynamic (pJ/hop)", "Wall static (J/s, incl. regulator)"});
+  for (VfMode m : all_vf_modes()) {
+    const VfPoint& p = vf_point(m);
+    const auto& c = pm.cost(m);
+    table.add_row(
+        {TextTable::fmt(p.voltage_v, 1) + "V",
+         TextTable::fmt(p.frequency_ghz, 2) + " GHz",
+         TextTable::fmt(c.static_power_w, 3),
+         TextTable::fmt(c.static_power_rel, 3),
+         TextTable::fmt(c.dynamic_energy_pj, 1),
+         TextTable::fmt(c.static_power_w / reg.simo_efficiency(m), 4)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  MlOverheadModel ml5(5);
+  MlOverheadModel ml41(41);
+  std::printf("ML label overhead (Sec. III-D):\n");
+  std::printf("  5 features:  %.1f pJ, %.3f mm^2, %d cycles "
+              "(paper: 7.1 pJ, 0.013 mm^2, 3-4 cycles)\n",
+              ml5.label_energy_j() * 1e12, ml5.area_mm2(),
+              ml5.label_latency_cycles());
+  std::printf("  41 features: %.1f pJ, %.3f mm^2 "
+              "(paper: 61.1 pJ, 0.122 mm^2)\n",
+              ml41.label_energy_j() * 1e12, ml41.area_mm2());
+  return 0;
+}

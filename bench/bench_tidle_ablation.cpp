@@ -1,0 +1,61 @@
+// Ablation (paper Sec. III-B): sensitivity to the T-Idle gating threshold.
+// The paper argues T-Idle = 4 balances congestion (too small: constant
+// gate/wake churn below T-Breakeven) against lost savings (too large).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/common/table.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "Ablation: T-Idle sweep for the power-gated models, 8x8 mesh",
+      "paper uses T-Idle = 4 (from Catnap): small values churn below "
+      "T-Breakeven, large values forfeit off time");
+
+  SimSetup base_setup = bench::paper_mesh_setup();
+  const TrainingOptions opts = bench::paper_training_options(base_setup);
+  const WeightVector weights =
+      load_or_train(PolicyKind::kDozzNoc, base_setup, opts);
+
+  for (PolicyKind kind : {PolicyKind::kPowerGate, PolicyKind::kDozzNoc}) {
+    std::printf("--- %s ---\n", policy_name(kind).c_str());
+    TextTable table({"T-Idle", "off time", "static savings", "wakeups",
+                     "premature wakeups", "latency increase"});
+    for (int t_idle : {1, 2, 4, 8, 16, 32}) {
+      SimSetup setup = base_setup;
+      setup.noc.t_idle_cycles = t_idle;
+      double off = 0.0;
+      double st = 0.0;
+      double lat = 0.0;
+      std::uint64_t wakeups = 0;
+      std::uint64_t premature = 0;
+      int n = 0;
+      for (const auto& name : test_benchmarks()) {
+        const Trace trace = make_benchmark_trace(setup, name, 1.0);
+        const NetworkMetrics baseline =
+            run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+        const NetworkMetrics m =
+            run_policy(setup, kind, trace,
+                       policy_uses_ml(kind)
+                           ? std::optional<WeightVector>(weights)
+                           : std::nullopt)
+                .metrics;
+        off += m.off_time_fraction;
+        st += 1.0 - m.static_energy_j / baseline.static_energy_j;
+        lat += m.packet_latency_ns.mean() /
+                   baseline.packet_latency_ns.mean() -
+               1.0;
+        wakeups += m.wakeups;
+        premature += m.premature_wakeups;
+        ++n;
+      }
+      table.add_row({std::to_string(t_idle), TextTable::pct(off / n),
+                     TextTable::pct(st / n), std::to_string(wakeups),
+                     std::to_string(premature), TextTable::pct(lat / n)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

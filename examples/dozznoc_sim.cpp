@@ -1,0 +1,232 @@
+// dozznoc_sim — the standalone command-line simulator, the main entry
+// point a user of this library drives experiments from.
+//
+//   dozznoc_sim [options]
+//     --topology mesh|cmesh|torus          (default mesh: 8x8, 64 cores)
+//     --policy baseline|pg|lead|dozznoc|turbo|reactive|oracle|vfi
+//     --benchmark <name>             (one of the 14 built-in generators)
+//     --fullsystem <name>            (fs-memheavy|fs-balanced|fs-compute)
+//     --trace <file>                 (load a saved trace instead)
+//     --compress <factor>            (0.25 = the paper's compressed runs)
+//     --cycles <n>                   (trace/run length, baseline cycles)
+//     --epoch <n>                    (DVFS window, default 500)
+//     --tidle <n>                    (gating threshold, default 4)
+//     --vcs <n> --depth <n>          (router buffering)
+//     --routing xy|yx
+//     --weights <file>               (trained weights for ML policies;
+//                                     trained on the fly if omitted)
+//     --baseline                     (also run the always-on baseline and
+//                                     print a savings comparison)
+//     --json                         (emit machine-readable JSON)
+//
+// Example:
+//   dozznoc_sim --policy dozznoc --benchmark x264 --compress 0.25 --baseline
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/core/baselines.hpp"
+#include "src/sim/config_file.hpp"
+#include "src/sim/model_store.hpp"
+#include "src/sim/oracle.hpp"
+#include "src/sim/report.hpp"
+#include "src/sim/runner.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+#include "src/trafficgen/fullsystem.hpp"
+
+namespace {
+
+using namespace dozz;
+
+struct Options {
+  std::string topology = "mesh";
+  std::string policy = "dozznoc";
+  std::string benchmark = "x264";
+  std::string fullsystem;
+  std::string trace_file;
+  std::string weights_file;
+  double compress = 1.0;
+  std::uint64_t cycles = 16000;
+  std::uint64_t epoch = 500;
+  int tidle = 4;
+  int vcs = 2;
+  int depth = 4;
+  std::string routing = "xy";
+  bool with_baseline = false;
+  bool json = false;
+};
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(stderr,
+               "usage: dozznoc_sim [--topology mesh|cmesh|torus] "
+               "[--policy baseline|pg|lead|dozznoc|turbo|reactive|oracle|vfi]\n"
+               "  [--benchmark <name> | --fullsystem <name> | --trace <file>]\n"
+               "  [--compress f] [--cycles n] [--epoch n] [--tidle n]\n"
+               "  [--vcs n] [--depth n] [--routing xy|yx] [--weights file]\n"
+               "  [--baseline] [--json] [--config file]\n");
+  std::exit(2);
+}
+
+/// Applies a key = value experiment config file (see sim/config_file.hpp);
+/// later command-line flags still override.
+void apply_config(const std::string& path, Options* opt) {
+  const ConfigMap c = load_config_file(path);
+  for (const auto& [key, value] : c) {
+    if (key == "topology") opt->topology = value;
+    else if (key == "policy") opt->policy = value;
+    else if (key == "benchmark") opt->benchmark = value;
+    else if (key == "fullsystem") opt->fullsystem = value;
+    else if (key == "trace") opt->trace_file = value;
+    else if (key == "weights") opt->weights_file = value;
+    else if (key == "compress") opt->compress = config_get_double(c, key, 1.0);
+    else if (key == "cycles") opt->cycles = config_get_u64(c, key, 16000);
+    else if (key == "epoch") opt->epoch = config_get_u64(c, key, 500);
+    else if (key == "tidle") opt->tidle = static_cast<int>(config_get_u64(c, key, 4));
+    else if (key == "vcs") opt->vcs = static_cast<int>(config_get_u64(c, key, 2));
+    else if (key == "depth") opt->depth = static_cast<int>(config_get_u64(c, key, 4));
+    else if (key == "routing") opt->routing = value;
+    else if (key == "baseline") opt->with_baseline = config_get_bool(c, key, false);
+    else if (key == "json") opt->json = config_get_bool(c, key, false);
+    else throw InputError("unknown config key: " + key);
+  }
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_and_exit();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--config") apply_config(need(i), &opt);
+    else if (a == "--topology") opt.topology = need(i);
+    else if (a == "--policy") opt.policy = need(i);
+    else if (a == "--benchmark") opt.benchmark = need(i);
+    else if (a == "--fullsystem") opt.fullsystem = need(i);
+    else if (a == "--trace") opt.trace_file = need(i);
+    else if (a == "--weights") opt.weights_file = need(i);
+    else if (a == "--compress") opt.compress = std::strtod(need(i), nullptr);
+    else if (a == "--cycles") opt.cycles = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--epoch") opt.epoch = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--tidle") opt.tidle = std::atoi(need(i));
+    else if (a == "--vcs") opt.vcs = std::atoi(need(i));
+    else if (a == "--depth") opt.depth = std::atoi(need(i));
+    else if (a == "--routing") opt.routing = need(i);
+    else if (a == "--baseline") opt.with_baseline = true;
+    else if (a == "--json") opt.json = true;
+    else usage_and_exit();
+  }
+  return opt;
+}
+
+std::optional<PolicyKind> policy_kind_of(const std::string& name) {
+  if (name == "baseline") return PolicyKind::kBaseline;
+  if (name == "pg") return PolicyKind::kPowerGate;
+  if (name == "lead") return PolicyKind::kLeadTau;
+  if (name == "dozznoc") return PolicyKind::kDozzNoc;
+  if (name == "turbo") return PolicyKind::kMlTurbo;
+  return std::nullopt;  // reactive / oracle / vfi handled separately
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  try {
+    SimSetup setup;
+    setup.cmesh = (opt.topology == "cmesh");
+    setup.torus = (opt.topology == "torus");
+    if (setup.torus) setup.noc.vc_classes = 2;  // dateline deadlock rule
+    if (!setup.cmesh && !setup.torus && opt.topology != "mesh")
+      usage_and_exit();
+    setup.duration_cycles = opt.cycles;
+    setup.run_to_drain = true;
+    setup.noc.epoch_cycles = opt.epoch;
+    setup.noc.t_idle_cycles = opt.tidle;
+    setup.noc.vcs_per_port = opt.vcs;
+    setup.noc.buffer_depth_flits = opt.depth;
+    if (opt.routing == "yx") setup.noc.routing = RoutingAlgorithm::kYX;
+    else if (opt.routing != "xy") usage_and_exit();
+
+    // --- Workload ---
+    Trace trace;
+    const Topology topo = setup.make_topology();
+    if (!opt.trace_file.empty()) {
+      std::ifstream in(opt.trace_file);
+      if (!in) throw InputError("cannot open " + opt.trace_file);
+      trace = Trace::load(in);
+      if (opt.compress != 1.0) trace = trace.compressed(opt.compress);
+    } else if (!opt.fullsystem.empty()) {
+      trace = generate_fullsystem_trace(fullsystem_profile(opt.fullsystem),
+                                        topo, opt.cycles);
+      if (opt.compress != 1.0) trace = trace.compressed(opt.compress);
+    } else {
+      trace = make_benchmark_trace(setup, opt.benchmark, opt.compress);
+    }
+    if (!opt.json)
+      std::printf("workload '%s': %zu packets over %.1f us on %s\n",
+                  trace.name().c_str(), trace.size(),
+                  trace.duration_ns() * 1e-3, topo.name().c_str());
+
+    // --- Policy ---
+    RunOutcome outcome;
+    const int routers = topo.num_routers();
+    if (const auto kind = policy_kind_of(opt.policy)) {
+      std::optional<WeightVector> weights;
+      if (policy_uses_ml(*kind)) {
+        if (!opt.weights_file.empty()) {
+          std::ifstream in(opt.weights_file);
+          if (!in) throw InputError("cannot open " + opt.weights_file);
+          weights = WeightVector::load(in);
+        } else {
+          if (!opt.json)
+            std::printf("training %s (cached under %s)...\n",
+                        policy_name(*kind).c_str(),
+                        model_cache_dir().c_str());
+          TrainingOptions train_opts;
+          train_opts.gather_cycles = std::min<std::uint64_t>(opt.cycles,
+                                                             16000);
+          weights = load_or_train(*kind, setup, train_opts);
+        }
+      }
+      outcome = run_policy(setup, *kind, trace, weights);
+    } else if (opt.policy == "reactive") {
+      auto policy = make_reactive_twin(PolicyKind::kDozzNoc, routers);
+      outcome = run_simulation(setup, *policy, trace);
+    } else if (opt.policy == "oracle") {
+      outcome = run_oracle(setup, trace, /*gating=*/true);
+    } else if (opt.policy == "vfi") {
+      GlobalDvfsPolicy policy(/*gating=*/true);
+      outcome = run_simulation(setup, policy, trace);
+    } else {
+      usage_and_exit();
+    }
+
+    // --- Report ---
+    if (opt.with_baseline) {
+      const RunOutcome base =
+          run_policy(setup, PolicyKind::kBaseline, trace);
+      if (opt.json) {
+        std::printf("{\"baseline\":%s,\"run\":%s}\n",
+                    outcome_to_json(base).c_str(),
+                    outcome_to_json(outcome).c_str());
+      } else {
+        write_comparison_report(std::cout, base, outcome);
+      }
+    } else if (opt.json) {
+      std::printf("%s\n", outcome_to_json(outcome).c_str());
+    } else {
+      write_text_report(std::cout, outcome);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Compares all five power-management models of the paper on one benchmark
+// trace (Sec. III-B): Baseline, PG (Power Punch-like), LEAD-tau (DVFS+ML),
+// DozzNoC (PG+DVFS+ML) and ML+TURBO.
+//
+//   ./examples/policy_comparison [benchmark] [compressed|uncompressed]
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.hpp"
+#include "src/sim/runner.hpp"
+#include "src/sim/training.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dozz;
+  const std::string benchmark = argc > 1 ? argv[1] : "barnes";
+  const bool compressed = argc > 2 && std::string(argv[2]) == "compressed";
+
+  SimSetup setup;
+  setup.duration_cycles = 8000;
+  TrainingOptions opts;
+  opts.gather_cycles = 5000;
+
+  const double compression = compressed ? kCompressedFactor : 1.0;
+  const Trace trace = make_benchmark_trace(setup, benchmark, compression);
+  std::printf("benchmark '%s' (%s): %zu packets offered\n",
+              benchmark.c_str(), compressed ? "compressed" : "uncompressed",
+              trace.size());
+
+  const NetworkMetrics base =
+      run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+
+  TextTable table({"model", "throughput (fl/ns)", "latency (ns)",
+                   "static vs base", "dynamic vs base", "off time",
+                   "mode switches"});
+  for (PolicyKind kind : all_policy_kinds()) {
+    std::optional<WeightVector> weights;
+    if (policy_uses_ml(kind)) {
+      std::printf("training %s model...\n", policy_name(kind).c_str());
+      weights = train_policy_model(kind, setup, opts).weights;
+    }
+    const NetworkMetrics m =
+        kind == PolicyKind::kBaseline
+            ? base
+            : run_policy(setup, kind, trace, weights).metrics;
+    table.add_row(
+        {policy_name(kind), TextTable::fmt(m.throughput_flits_per_ns(), 3),
+         TextTable::fmt(m.packet_latency_ns.mean(), 2),
+         TextTable::pct(m.static_energy_j / base.static_energy_j),
+         TextTable::pct(m.dynamic_energy_j / base.dynamic_energy_j),
+         TextTable::pct(m.off_time_fraction),
+         std::to_string(m.mode_switches)});
+  }
+  std::printf("\n%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: simulate an 8x8 mesh NoC under DozzNoC power management and
+// print the energy/performance trade-off against an always-on baseline.
+//
+// To keep the quickstart self-contained and fast, it uses a hand-written
+// weight vector (predicted future IBU == current IBU) instead of running
+// the offline training pipeline; see train_and_deploy.cpp for the full
+// paper workflow.
+//
+//   ./examples/quickstart [benchmark-name]
+#include <cstdio>
+#include <string>
+
+#include "src/core/policies.hpp"
+#include "src/sim/runner.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dozz;
+  const std::string benchmark = argc > 1 ? argv[1] : "x264";
+
+  // 1. Configure the experiment: 8x8 mesh, paper defaults (epoch 500,
+  //    T-Idle 4, 2 VCs x 4 flits per port).
+  SimSetup setup;
+  setup.duration_cycles = 12000;
+
+  // 2. Generate a synthetic PARSEC/SPLASH-2-style trace.
+  const Trace trace = make_benchmark_trace(setup, benchmark);
+  std::printf("trace '%s': %zu packets over %.1f us (%.2f pkts/core/us)\n",
+              trace.name().c_str(), trace.size(),
+              trace.duration_ns() * 1e-3,
+              trace.offered_load_pkts_per_core_us(
+                  setup.make_topology().num_cores()));
+
+  // 3. Run the baseline (always active at 1.2 V / 2.25 GHz).
+  const NetworkMetrics base =
+      run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+
+  // 4. Run DozzNoC (power-gating + DVFS + ML mode prediction).
+  WeightVector weights;
+  weights.feature_names = EpochFeatures::names();
+  weights.weights = {0.0, 0.0, 0.0, 0.0, 1.0};  // predict IBU stays the same
+  const NetworkMetrics dozz =
+      run_policy(setup, PolicyKind::kDozzNoc, trace, weights).metrics;
+
+  // 5. Report the trade-off.
+  std::printf("\n%-28s %12s %12s\n", "", "Baseline", "DozzNoC");
+  std::printf("%-28s %12llu %12llu\n", "packets delivered",
+              static_cast<unsigned long long>(base.packets_delivered),
+              static_cast<unsigned long long>(dozz.packets_delivered));
+  std::printf("%-28s %9.3f ns %9.3f ns\n", "mean packet latency",
+              base.packet_latency_ns.mean(), dozz.packet_latency_ns.mean());
+  std::printf("%-28s %9.4f uJ %9.4f uJ\n", "static energy",
+              base.static_energy_j * 1e6, dozz.static_energy_j * 1e6);
+  std::printf("%-28s %9.4f uJ %9.4f uJ\n", "dynamic energy",
+              base.dynamic_energy_j * 1e6, dozz.dynamic_energy_j * 1e6);
+  std::printf("%-28s %12s %11.1f%%\n", "time power-gated", "0%",
+              dozz.off_time_fraction * 100.0);
+  std::printf("\nDozzNoC saved %.1f%% static and %.1f%% dynamic energy for a "
+              "%.1f%% throughput change.\n",
+              (1.0 - dozz.static_energy_j / base.static_energy_j) * 100.0,
+              (1.0 - dozz.dynamic_energy_j / base.dynamic_energy_j) * 100.0,
+              (1.0 - dozz.throughput_flits_per_ns() /
+                         base.throughput_flits_per_ns()) *
+                  100.0);
+  return 0;
+}

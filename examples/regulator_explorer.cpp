@@ -1,0 +1,63 @@
+// Explores the SIMO/LDO voltage-regulator substrate on its own: operating
+// points, the rail mux, switching latencies, efficiency and an ASCII plot
+// of a wakeup transient. Useful when porting DozzNoC to another regulator
+// design — swap SimoLdoRegulator and rerun.
+//
+//   ./examples/regulator_explorer
+#include <cstdio>
+#include <string>
+
+#include "src/common/table.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/regulator/transient.hpp"
+
+int main() {
+  using namespace dozz;
+  SimoLdoRegulator reg;
+
+  std::printf("operating points:\n");
+  TextTable modes({"mode", "voltage", "frequency", "period (ticks)",
+                   "rail", "dropout", "efficiency"});
+  for (VfMode m : all_vf_modes()) {
+    const VfPoint& p = vf_point(m);
+    modes.add_row({mode_label(m), TextTable::fmt(p.voltage_v, 1) + " V",
+                   TextTable::fmt(p.frequency_ghz, 2) + " GHz",
+                   std::to_string(p.period_ticks),
+                   TextTable::fmt(reg.rail_voltage(reg.rail_for(p.voltage_v)),
+                                  1) +
+                       " V",
+                   TextTable::fmt(reg.dropout_v(p.voltage_v) * 1000, 0) +
+                       " mV",
+                   TextTable::pct(reg.simo_efficiency(m))});
+  }
+  std::printf("%s\n", modes.render().c_str());
+
+  std::printf("switching latencies from M3 (0.8V):\n");
+  for (VfMode to : all_vf_modes()) {
+    if (to == VfMode::kV08) continue;
+    std::printf("  -> %s: %.1f ns analog, %d cycles charged in simulation\n",
+                mode_label(to).c_str(),
+                reg.switch_latency_ns(VfMode::kV08, to),
+                reg.cycle_costs(to).t_switch_cycles);
+  }
+
+  std::printf("\nwakeup transient 0V -> 1.2V:\n");
+  const auto w = TransientWaveform::wakeup(reg, VfMode::kV12);
+  const int cols = 64;
+  const int rows = 14;
+  for (int r = rows; r >= 0; --r) {
+    const double v_lo = 1.4 * r / (rows + 1);
+    const double v_hi = 1.4 * (r + 1) / (rows + 1);
+    std::putchar('|');
+    for (int c = 0; c <= cols; ++c) {
+      const double v = w.voltage_at(15.0 * c / cols);
+      std::putchar(v >= v_lo && v < v_hi ? '*' : ' ');
+    }
+    std::putchar('\n');
+  }
+  std::printf("+%s 15 ns\n", std::string(cols, '-').c_str());
+  std::printf("settles within 2%% at %.2f ns (Table II: %.1f ns)\n",
+              w.settling_time_ns(0.02 * 1.2),
+              reg.wakeup_latency_ns(VfMode::kV12));
+  return 0;
+}

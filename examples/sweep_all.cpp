@@ -1,0 +1,47 @@
+// Batch sweep: runs every policy over every test benchmark at both load
+// regimes and emits one JSON object per run (JSON-lines), ready for
+// pandas/jq post-processing. The machine-readable twin of Fig. 8.
+//
+//   ./examples/sweep_all > results.jsonl
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/sim/model_store.hpp"
+#include "src/sim/report.hpp"
+#include "src/sim/runner.hpp"
+#include "src/sim/setup.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main() {
+  using namespace dozz;
+  SimSetup setup;
+  setup.duration_cycles = scaled_cycles(12000);
+  setup.run_to_drain = true;
+
+  TrainingOptions opts;
+  opts.gather_cycles = setup.duration_cycles;
+
+  std::map<PolicyKind, std::optional<WeightVector>> models;
+  models[PolicyKind::kBaseline] = std::nullopt;
+  models[PolicyKind::kPowerGate] = std::nullopt;
+  for (PolicyKind kind :
+       {PolicyKind::kLeadTau, PolicyKind::kDozzNoc, PolicyKind::kMlTurbo}) {
+    std::fprintf(stderr, "training %s...\n", policy_name(kind).c_str());
+    models[kind] = load_or_train(kind, setup, opts);
+  }
+
+  for (double compression : {1.0, kCompressedFactor}) {
+    for (const auto& name : test_benchmarks()) {
+      const Trace trace = make_benchmark_trace(setup, name, compression);
+      for (const auto& [kind, weights] : models) {
+        RunOutcome outcome = run_policy(setup, kind, trace, weights);
+        outcome.trace += compression == 1.0 ? "/uncompressed" : "/compressed";
+        std::printf("%s\n", outcome_to_json(outcome).c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

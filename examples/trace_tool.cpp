@@ -1,0 +1,138 @@
+// Command-line utility for working with DozzNoC trace files — the
+// trace-driven half of the paper's workflow without running a simulation.
+//
+//   trace_tool generate <benchmark> <cycles> <out.trace> [mesh|cmesh]
+//   trace_tool compress <in.trace> <factor> <out.trace>
+//   trace_tool inspect  <in.trace>
+//   trace_tool synth    <pattern> <rate> <cycles> <out.trace>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/common/stats.hpp"
+#include "src/topology/topology.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+#include "src/trafficgen/fullsystem.hpp"
+#include "src/trafficgen/patterns.hpp"
+
+namespace {
+
+using namespace dozz;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool generate <benchmark> <cycles> <out> [mesh|cmesh]\n"
+               "  trace_tool fullsys  <fs-profile> <cycles> <out>\n"
+               "  trace_tool compress <in> <factor> <out>\n"
+               "  trace_tool inspect  <in>\n"
+               "  trace_tool synth    <pattern> <rate> <cycles> <out>\n");
+  return 2;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open " + path);
+  return Trace::load(in);
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw InputError("cannot write " + path);
+  trace.save(out);
+  std::printf("wrote %zu entries to %s\n", trace.size(), path.c_str());
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string name = argv[2];
+  const auto cycles = static_cast<std::uint64_t>(std::strtoull(argv[3],
+                                                               nullptr, 10));
+  const bool cmesh = argc > 5 && std::string(argv[5]) == "cmesh";
+  const Topology topo = cmesh ? make_cmesh() : make_mesh();
+  save_trace(generate_benchmark_trace(benchmark_profile(name), topo, cycles),
+             argv[4]);
+  return 0;
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const double factor = std::strtod(argv[3], nullptr);
+  save_trace(load_trace(argv[2]).compressed(factor), argv[4]);
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Trace trace = load_trace(argv[2]);
+  std::printf("trace '%s': %zu entries, %.2f us\n", trace.name().c_str(),
+              trace.size(), trace.duration_ns() * 1e-3);
+
+  std::size_t requests = 0;
+  RunningStat gaps;
+  DenseCounter src_hist(64);
+  double prev = 0.0;
+  for (const auto& e : trace.entries()) {
+    if (!e.is_response) ++requests;
+    gaps.add(e.inject_ns - prev);
+    prev = e.inject_ns;
+    if (e.src < 64) src_hist.add(static_cast<std::size_t>(e.src));
+  }
+  std::printf("  requests: %zu  responses: %zu\n", requests,
+              trace.size() - requests);
+  std::printf("  mean inter-injection gap: %.3f ns (max %.3f ns)\n",
+              gaps.mean(), gaps.max());
+  std::printf("  offered load: %.2f pkts/core/us (64 cores)\n",
+              trace.offered_load_pkts_per_core_us(64));
+  // Busiest cores.
+  std::size_t busiest = 0;
+  for (std::size_t c = 1; c < 64; ++c)
+    if (src_hist.count(c) > src_hist.count(busiest)) busiest = c;
+  std::printf("  busiest source core: %zu (%llu packets)\n", busiest,
+              static_cast<unsigned long long>(src_hist.count(busiest)));
+  return 0;
+}
+
+int cmd_synth(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const Topology topo = make_mesh();
+  const double rate = std::strtod(argv[3], nullptr);
+  const auto cycles = static_cast<std::uint64_t>(std::strtoull(argv[4],
+                                                               nullptr, 10));
+  Trace trace = generate_synthetic_trace(
+      topo, pattern_by_name(argv[2], topo), rate, cycles, 0xFEED);
+  trace.set_name(argv[2]);
+  save_trace(trace, argv[5]);
+  return 0;
+}
+
+int cmd_fullsys(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const Topology topo = make_mesh();
+  const auto cycles = static_cast<std::uint64_t>(std::strtoull(argv[3],
+                                                               nullptr, 10));
+  save_trace(
+      generate_fullsystem_trace(fullsystem_profile(argv[2]), topo, cycles),
+      argv[4]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "compress") return cmd_compress(argc, argv);
+    if (cmd == "inspect") return cmd_inspect(argc, argv);
+    if (cmd == "synth") return cmd_synth(argc, argv);
+    if (cmd == "fullsys") return cmd_fullsys(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,42 @@
+# Smoke test for the trace_tool example: generate -> inspect -> compress ->
+# inspect round trip. Invoked by ctest (see examples/CMakeLists.txt).
+set(trace "${WORK_DIR}/tt_roundtrip.trace")
+set(compressed "${WORK_DIR}/tt_roundtrip_c.trace")
+
+execute_process(
+  COMMAND ${TRACE_TOOL} generate swaptions 4000 ${trace}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_tool generate failed: ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${TRACE_TOOL} inspect ${trace}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "offered load")
+  message(FATAL_ERROR "trace_tool inspect failed: ${rc}: ${out}")
+endif()
+
+execute_process(
+  COMMAND ${TRACE_TOOL} compress ${trace} 0.25 ${compressed}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_tool compress failed: ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${TRACE_TOOL} inspect ${compressed}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_tool inspect (compressed) failed: ${rc}")
+endif()
+
+# Unknown subcommands must fail cleanly.
+execute_process(
+  COMMAND ${TRACE_TOOL} frobnicate
+  RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "trace_tool accepted an unknown subcommand")
+endif()
+
+file(REMOVE ${trace} ${compressed})

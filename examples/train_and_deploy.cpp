@@ -1,0 +1,81 @@
+// The paper's full machine-learning workflow, end to end (Sec. III-D/IV-A):
+//
+//   1. Run the *reactive* DozzNoC twin over the 6 training and 3 validation
+//      benchmarks, exporting the Table IV features + future-IBU label per
+//      router per epoch.
+//   2. Standardize, fit ridge regression, tune lambda on validation MSE.
+//   3. Export the weight vector to a file (what the paper imports into its
+//      network simulator before the run starts).
+//   4. Reload the weights and drive the *proactive* DozzNoC policy on a
+//      held-out test benchmark.
+//
+//   ./examples/train_and_deploy [weights-file]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/sim/runner.hpp"
+#include "src/sim/training.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dozz;
+  const std::string weights_path =
+      argc > 1 ? argv[1] : "dozznoc_weights.txt";
+
+  SimSetup setup;
+  setup.duration_cycles = 8000;  // small for example purposes
+  TrainingOptions opts;
+  opts.gather_cycles = 6000;
+
+  // --- Train offline ---
+  std::printf("training DozzNoC ridge model on %zu benchmarks "
+              "(+%zu validation)...\n",
+              training_benchmarks().size(), validation_benchmarks().size());
+  const TrainedModel model =
+      train_policy_model(PolicyKind::kDozzNoc, setup, opts);
+  std::printf("  examples: %zu train / %zu validation\n",
+              model.train_examples, model.validation_examples);
+  std::printf("  best lambda: %g  validation MSE: %.6f  R^2: %.3f\n",
+              model.weights.lambda, model.validation_mse,
+              model.validation_r2);
+  std::printf("  weights:");
+  for (std::size_t i = 0; i < model.weights.weights.size(); ++i)
+    std::printf(" %s=%.4g", model.weights.feature_names[i].c_str(),
+                model.weights.weights[i]);
+  std::printf("\n");
+
+  // --- Export (what the paper's Matlab phase hands to the simulator) ---
+  {
+    std::ofstream out(weights_path);
+    model.weights.save(out);
+  }
+  std::printf("weights exported to %s\n", weights_path.c_str());
+
+  // --- Reload and deploy proactively on a held-out test trace ---
+  WeightVector weights;
+  {
+    std::ifstream in(weights_path);
+    weights = WeightVector::load(in);
+  }
+  const std::string test = test_benchmarks().front();
+  const Trace trace = make_benchmark_trace(setup, test, kCompressedFactor);
+  const NetworkMetrics base =
+      run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+  const NetworkMetrics dozz =
+      run_policy(setup, PolicyKind::kDozzNoc, trace, weights).metrics;
+
+  std::printf("\ndeployed on held-out '%s' (compressed):\n", test.c_str());
+  std::printf("  ML labels computed: %llu (%.2f nJ total overhead)\n",
+              static_cast<unsigned long long>(dozz.labels_computed),
+              dozz.ml_energy_j * 1e9);
+  std::printf("  static savings:  %.1f%%\n",
+              (1.0 - dozz.static_energy_j / base.static_energy_j) * 100.0);
+  std::printf("  dynamic savings: %.1f%%\n",
+              (1.0 - dozz.dynamic_energy_j / base.dynamic_energy_j) * 100.0);
+  std::printf("  throughput loss: %.1f%%\n",
+              (1.0 - dozz.throughput_flits_per_ns() /
+                         base.throughput_flits_per_ns()) *
+                  100.0);
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "src/common/csv.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::write_header(const std::vector<std::string>& names) {
+  write_row(names);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  bool first = true;
+  for (double v : values) {
+    if (!first) out_ << ',';
+    out_ << v;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    out_ << cell;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) comma = line.size();
+    std::string cell = line.substr(start, comma - start);
+    const auto b = cell.find_first_not_of(" \t\r");
+    const auto e = cell.find_last_not_of(" \t\r");
+    cells.push_back(b == std::string::npos ? std::string{}
+                                           : cell.substr(b, e - b + 1));
+    start = comma + 1;
+    if (comma == line.size()) break;
+  }
+  return cells;
+}
+
+CsvData read_csv(std::istream& in) {
+  CsvData data;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = split_csv_line(line);
+    if (!have_header) {
+      data.header = std::move(cells);
+      have_header = true;
+      continue;
+    }
+    if (cells.size() != data.header.size())
+      throw InputError("csv row width mismatch");
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) {
+      char* end = nullptr;
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) throw InputError("csv cell not numeric: " + cell);
+      row.push_back(v);
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+}  // namespace dozz

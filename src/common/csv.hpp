@@ -1,0 +1,36 @@
+// Minimal CSV writing/reading used for datasets and bench series output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dozz {
+
+/// Streams rows of doubles/strings to a CSV sink.
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  void write_header(const std::vector<std::string>& names);
+  void write_row(const std::vector<double>& values);
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parses a simple CSV (no quoting; numeric cells) into rows of doubles.
+/// The first row is treated as a header and returned separately.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+CsvData read_csv(std::istream& in);
+
+/// Splits a line on commas, trimming surrounding whitespace per cell.
+std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace dozz

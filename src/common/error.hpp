@@ -1,0 +1,52 @@
+// Error handling helpers shared across all DozzNoC modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dozz {
+
+/// Thrown when a caller violates an API precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when the simulator reaches an internally inconsistent state.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown on malformed external input (trace files, weight files, ...).
+class InputError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line) {
+  throw InvariantError(std::string("invariant violated: ") + expr + " at " +
+                       file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace dozz
+
+/// Validates a public API precondition; throws dozz::PreconditionError.
+#define DOZZ_REQUIRE(expr)                                        \
+  do {                                                            \
+    if (!(expr)) ::dozz::detail::throw_precondition(#expr, __FILE__, __LINE__); \
+  } while (false)
+
+/// Validates an internal invariant; throws dozz::InvariantError.
+#define DOZZ_ASSERT(expr)                                      \
+  do {                                                         \
+    if (!(expr)) ::dozz::detail::throw_invariant(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,28 @@
+#include "src/common/log.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace dozz {
+
+namespace {
+LogLevel g_level = []() {
+  const char* env = std::getenv("DOZZ_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  return LogLevel::kOff;
+}();
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, const std::string& message) {
+  const char* tag = level == LogLevel::kDebug ? "[debug] " : "[info] ";
+  std::cerr << tag << message << '\n';
+}
+
+}  // namespace dozz

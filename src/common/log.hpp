@@ -1,0 +1,39 @@
+// Tiny leveled logger. Off by default so benches print clean tables;
+// set DOZZ_LOG=info|debug in the environment to enable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dozz {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+/// Current global level (read from DOZZ_LOG on first use).
+LogLevel log_level();
+
+/// Overrides the global level (mainly for tests).
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace dozz
+
+#define DOZZ_LOG_INFO(msg)                                   \
+  do {                                                       \
+    if (::dozz::log_level() >= ::dozz::LogLevel::kInfo) {    \
+      std::ostringstream oss_;                               \
+      oss_ << msg;                                           \
+      ::dozz::log_line(::dozz::LogLevel::kInfo, oss_.str()); \
+    }                                                        \
+  } while (false)
+
+#define DOZZ_LOG_DEBUG(msg)                                   \
+  do {                                                        \
+    if (::dozz::log_level() >= ::dozz::LogLevel::kDebug) {    \
+      std::ostringstream oss_;                                \
+      oss_ << msg;                                            \
+      ::dozz::log_line(::dozz::LogLevel::kDebug, oss_.str()); \
+    }                                                         \
+  } while (false)

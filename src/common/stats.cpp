@@ -1,0 +1,120 @@
+#include "src/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStat::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DOZZ_REQUIRE(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto bin = static_cast<std::size_t>((x - lo_) / width_);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge case
+    ++counts_[bin];
+  }
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  DOZZ_REQUIRE(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  DOZZ_REQUIRE(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::quantile(double q) const {
+  DOZZ_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double seen = static_cast<double>(underflow_);
+  if (seen >= target) return lo_;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto c = static_cast<double>(counts_[b]);
+    if (seen + c >= target && c > 0) {
+      const double frac = (target - seen) / c;
+      return bin_lo(b) + frac * width_;
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
+void DenseCounter::add(std::size_t slot, std::uint64_t amount) {
+  DOZZ_REQUIRE(slot < counts_.size());
+  counts_[slot] += amount;
+}
+
+std::uint64_t DenseCounter::count(std::size_t slot) const {
+  DOZZ_REQUIRE(slot < counts_.size());
+  return counts_[slot];
+}
+
+std::uint64_t DenseCounter::total() const {
+  std::uint64_t sum = 0;
+  for (auto c : counts_) sum += c;
+  return sum;
+}
+
+double DenseCounter::fraction(std::size_t slot) const {
+  const auto t = total();
+  return t == 0 ? 0.0
+               : static_cast<double>(count(slot)) / static_cast<double>(t);
+}
+
+void DenseCounter::reset() { std::fill(counts_.begin(), counts_.end(), 0); }
+
+}  // namespace dozz

@@ -1,0 +1,78 @@
+// Streaming statistics accumulators used by the simulator and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dozz {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;            ///< Population variance.
+  double sample_variance() const;     ///< Unbiased (n-1) variance.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within a bin.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Integer counter keyed by a small dense id range (e.g. per-mode tallies).
+class DenseCounter {
+ public:
+  explicit DenseCounter(std::size_t slots) : counts_(slots, 0) {}
+
+  void add(std::size_t slot, std::uint64_t amount = 1);
+  std::uint64_t count(std::size_t slot) const;
+  std::uint64_t total() const;
+  double fraction(std::size_t slot) const;
+  std::size_t slots() const { return counts_.size(); }
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace dozz

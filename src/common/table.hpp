@@ -1,0 +1,34 @@
+// Plain-text table rendering for bench output (paper table/figure rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dozz {
+
+/// Builds an aligned ASCII table, column by column, row by row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 3);
+
+  /// Convenience: formats a percentage (0.25 -> "25.0%").
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the whole table with a separator under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dozz

@@ -1,0 +1,52 @@
+// Fixed-point simulation time base.
+//
+// All five DVFS clock frequencies used by DozzNoC (1, 1.5, 1.8, 2 and
+// 2.25 GHz) have periods that are exact integer multiples of 1/9000 ns:
+//
+//   1.00 GHz -> 9000 ticks    1.50 GHz -> 6000 ticks
+//   1.80 GHz -> 5000 ticks    2.00 GHz -> 4500 ticks
+//   2.25 GHz -> 4000 ticks
+//
+// Representing time as an integer count of these ticks keeps the
+// multi-clock-domain simulation exactly cycle accurate with no floating
+// point drift.
+#pragma once
+
+#include <cstdint>
+
+namespace dozz {
+
+/// Simulation time in units of 1/9000 ns.
+using Tick = std::uint64_t;
+
+/// Signed tick difference.
+using TickDelta = std::int64_t;
+
+/// Number of ticks per nanosecond.
+inline constexpr Tick kTicksPerNs = 9000;
+
+/// Sentinel for "no scheduled event".
+inline constexpr Tick kInfTick = ~Tick{0} / 4;
+
+/// Period of the fastest (baseline, 2.25 GHz) clock in ticks.
+inline constexpr Tick kBaselinePeriodTicks = 4000;
+
+/// Converts nanoseconds to ticks (exact for multiples of 1/9000 ns).
+constexpr Tick ticks_from_ns(double ns) {
+  return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+/// Converts ticks to nanoseconds.
+constexpr double ns_from_ticks(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/// Converts ticks to seconds.
+constexpr double seconds_from_ticks(Tick t) { return ns_from_ticks(t) * 1e-9; }
+
+/// Converts ticks to a count of baseline (2.25 GHz) cycles, rounding down.
+constexpr double baseline_cycles_from_ticks(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kBaselinePeriodTicks);
+}
+
+}  // namespace dozz

@@ -1,0 +1,19 @@
+#include "src/core/mode_select.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+LabelGenerateUnit::LabelGenerateUnit(WeightVector weights)
+    : weights_(std::move(weights)) {
+  DOZZ_REQUIRE(weights_.weights.size() == EpochFeatures::names().size());
+}
+
+double LabelGenerateUnit::generate(const EpochFeatures& features) const {
+  const double label = weights_.predict(features.to_vector());
+  return std::clamp(label, 0.0, 1.0);
+}
+
+}  // namespace dozz

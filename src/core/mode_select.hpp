@@ -1,0 +1,38 @@
+// The three router microarchitecture additions of paper Fig. 1(c):
+// Feature Extract (realized by the network's epoch accounting, see
+// noc/stats.hpp), Label Generate (weight-vector dot product) and Model
+// Select (threshold logic mapping a predicted utilization to a V/F mode).
+#pragma once
+
+#include "src/ml/ridge.hpp"
+#include "src/noc/stats.hpp"
+#include "src/regulator/vf_mode.hpp"
+
+namespace dozz {
+
+/// Label Generate unit: multiplies each extracted feature by its offline-
+/// trained weight and sums the products, yielding the predicted future
+/// input-buffer utilization. Five multiplies + four adds per label.
+class LabelGenerateUnit {
+ public:
+  explicit LabelGenerateUnit(WeightVector weights);
+
+  /// Predicted future IBU, clamped to [0, 1].
+  double generate(const EpochFeatures& features) const;
+
+  const WeightVector& weights() const { return weights_; }
+
+ private:
+  WeightVector weights_;
+};
+
+/// Model Select unit: applies the Fig. 3(b) thresholds to a (predicted or
+/// measured) utilization.
+class ModelSelectUnit {
+ public:
+  VfMode select(double utilization) const {
+    return mode_for_utilization(utilization);
+  }
+};
+
+}  // namespace dozz

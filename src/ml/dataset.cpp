@@ -1,0 +1,98 @@
+#include "src/ml/dataset.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "src/common/csv.hpp"
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : names_(std::move(feature_names)) {
+  DOZZ_REQUIRE(!names_.empty());
+}
+
+void Dataset::add(std::vector<double> features, double label) {
+  if (names_.empty()) {
+    names_.resize(features.size());
+    for (std::size_t i = 0; i < names_.size(); ++i)
+      names_[i] = "f" + std::to_string(i);
+  }
+  DOZZ_REQUIRE(features.size() == names_.size());
+  examples_.push_back({std::move(features), label});
+}
+
+void Dataset::append(const Dataset& other) {
+  if (names_.empty()) names_ = other.names_;
+  DOZZ_REQUIRE(other.names_.size() == names_.size());
+  examples_.insert(examples_.end(), other.examples_.begin(),
+                   other.examples_.end());
+}
+
+std::size_t Dataset::num_features() const { return names_.size(); }
+
+const Example& Dataset::example(std::size_t i) const {
+  DOZZ_REQUIRE(i < examples_.size());
+  return examples_[i];
+}
+
+Matrix Dataset::design_matrix() const {
+  Matrix x(examples_.size(), names_.size());
+  for (std::size_t r = 0; r < examples_.size(); ++r)
+    for (std::size_t c = 0; c < names_.size(); ++c)
+      x.at(r, c) = examples_[r].features[c];
+  return x;
+}
+
+std::vector<double> Dataset::labels() const {
+  std::vector<double> y;
+  y.reserve(examples_.size());
+  for (const auto& e : examples_) y.push_back(e.label);
+  return y;
+}
+
+Dataset Dataset::select_features(const std::vector<std::size_t>& columns) const {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (auto c : columns) {
+    DOZZ_REQUIRE(c < names_.size());
+    names.push_back(names_[c]);
+  }
+  Dataset out(std::move(names));
+  for (const auto& e : examples_) {
+    std::vector<double> feats;
+    feats.reserve(columns.size());
+    for (auto c : columns) feats.push_back(e.features[c]);
+    out.add(std::move(feats), e.label);
+  }
+  return out;
+}
+
+void Dataset::save_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  std::vector<std::string> header = names_;
+  header.push_back("label");
+  writer.write_header(header);
+  for (const auto& e : examples_) {
+    std::vector<double> row = e.features;
+    row.push_back(e.label);
+    writer.write_row(row);
+  }
+}
+
+Dataset Dataset::load_csv(std::istream& in) {
+  CsvData data = read_csv(in);
+  if (data.header.empty() || data.header.back() != "label")
+    throw InputError("dataset csv must end with a 'label' column");
+  std::vector<std::string> names(data.header.begin(), data.header.end() - 1);
+  Dataset out(std::move(names));
+  for (auto& row : data.rows) {
+    const double label = row.back();
+    row.pop_back();
+    out.add(std::move(row), label);
+  }
+  return out;
+}
+
+}  // namespace dozz

@@ -1,0 +1,51 @@
+// Feature/label datasets produced by reactive simulator runs and consumed
+// by the offline ridge-regression trainer (paper §III-D).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/ml/matrix.hpp"
+
+namespace dozz {
+
+/// One training example: feature vector plus the label observed one epoch
+/// later (future input-buffer utilization).
+struct Example {
+  std::vector<double> features;
+  double label;
+};
+
+/// A labelled dataset with named feature columns.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  void add(std::vector<double> features, double label);
+  void append(const Dataset& other);
+
+  std::size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+  std::size_t num_features() const;
+  const std::vector<std::string>& feature_names() const { return names_; }
+  const Example& example(std::size_t i) const;
+
+  /// Design matrix (size x features) and label vector views.
+  Matrix design_matrix() const;
+  std::vector<double> labels() const;
+
+  /// Keeps only the selected feature columns (by index), preserving order.
+  Dataset select_features(const std::vector<std::size_t>& columns) const;
+
+  /// CSV round trip: header is feature names plus trailing "label" column.
+  void save_csv(std::ostream& out) const;
+  static Dataset load_csv(std::istream& in);
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Example> examples_;
+};
+
+}  // namespace dozz

@@ -1,0 +1,157 @@
+#include "src/ml/matrix.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  DOZZ_REQUIRE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  DOZZ_REQUIRE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+void Matrix::append_row(const std::vector<double>& row) {
+  if (rows_ == 0 && cols_ == 0) cols_ = row.size();
+  DOZZ_REQUIRE(row.size() == cols_ && cols_ > 0);
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  DOZZ_REQUIRE(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c)
+        out.at(r, c) += a * rhs.at(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double xi = data_[r * cols_ + i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j)
+        g.at(i, j) += xi * data_[r * cols_ + j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = 0; j < i; ++j) g.at(i, j) = g.at(j, i);
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(const std::vector<double>& v) const {
+  DOZZ_REQUIRE(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out[c] += data_[r * cols_ + c] * v[r];
+  return out;
+}
+
+std::vector<double> Matrix::times(const std::vector<double>& w) const {
+  DOZZ_REQUIRE(w.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += data_[r * cols_ + c] * w[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a,
+                                   const std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  DOZZ_REQUIRE(a.cols() == n && b.size() == n && n > 0);
+
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        DOZZ_REQUIRE(sum > 0.0);  // SPD required
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+
+  // Back solve L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+double mean_squared_error(const std::vector<double>& predicted,
+                          const std::vector<double>& actual) {
+  DOZZ_REQUIRE(predicted.size() == actual.size() && !actual.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+double r_squared(const std::vector<double>& predicted,
+                 const std::vector<double>& actual) {
+  DOZZ_REQUIRE(predicted.size() == actual.size() && !actual.empty());
+  double mean = 0.0;
+  for (double v : actual) mean += v;
+  mean /= static_cast<double>(actual.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double r = actual[i] - predicted[i];
+    const double t = actual[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  return ss_tot <= 0.0 ? 0.0 : 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace dozz

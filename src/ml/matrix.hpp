@@ -1,0 +1,59 @@
+// Small dense linear algebra used by the offline ridge-regression trainer.
+// Row-major doubles; sized for (epochs x routers) x (features) problems,
+// i.e. thousands of rows by a handful of columns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dozz {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Appends one row; width must match (or set it on the first row).
+  void append_row(const std::vector<double>& row);
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// Computes A^T * A directly (symmetric result) without materializing A^T.
+  Matrix gram() const;
+
+  /// Computes A^T * v for a vector of length rows().
+  std::vector<double> transpose_times(const std::vector<double>& v) const;
+
+  /// Computes A * w for a vector of length cols().
+  std::vector<double> times(const std::vector<double>& w) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive-definite system A x = b via Cholesky
+/// factorization. Throws dozz::PreconditionError if A is not SPD.
+std::vector<double> cholesky_solve(const Matrix& a, const std::vector<double>& b);
+
+/// Mean squared error between two equal-length vectors.
+double mean_squared_error(const std::vector<double>& predicted,
+                          const std::vector<double>& actual);
+
+/// Coefficient of determination (R^2); returns 0 when actual is constant.
+double r_squared(const std::vector<double>& predicted,
+                 const std::vector<double>& actual);
+
+}  // namespace dozz

@@ -1,0 +1,129 @@
+#include "src/ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace dozz {
+
+MlpRegressor::MlpRegressor(std::size_t num_features, const MlpOptions& options)
+    : num_features_(num_features), options_(options) {
+  DOZZ_REQUIRE(num_features >= 1);
+  DOZZ_REQUIRE(options.hidden_units >= 1 && options.epochs >= 1);
+  DOZZ_REQUIRE(options.batch_size >= 1 && options.learning_rate > 0.0);
+  const auto h = static_cast<std::size_t>(options.hidden_units);
+  Rng rng(options.seed);
+  // He initialization for the ReLU layer, small uniform for the head.
+  const double scale1 = std::sqrt(2.0 / static_cast<double>(num_features));
+  w1_.resize(h * num_features);
+  for (auto& w : w1_) w = rng.next_gaussian() * scale1;
+  b1_.assign(h, 0.0);
+  w2_.resize(h);
+  const double scale2 = std::sqrt(1.0 / static_cast<double>(h));
+  for (auto& w : w2_) w = rng.next_gaussian() * scale2;
+}
+
+double MlpRegressor::forward(const std::vector<double>& x,
+                             std::vector<double>* hidden_out) const {
+  DOZZ_REQUIRE(x.size() == num_features_);
+  const auto h = static_cast<std::size_t>(options_.hidden_units);
+  double y = b2_;
+  if (hidden_out != nullptr) hidden_out->assign(h, 0.0);
+  for (std::size_t j = 0; j < h; ++j) {
+    double a = b1_[j];
+    const double* row = &w1_[j * num_features_];
+    for (std::size_t i = 0; i < num_features_; ++i) a += row[i] * x[i];
+    const double relu = a > 0.0 ? a : 0.0;
+    if (hidden_out != nullptr) (*hidden_out)[j] = relu;
+    y += w2_[j] * relu;
+  }
+  return y;
+}
+
+double MlpRegressor::fit(const Dataset& data) {
+  DOZZ_REQUIRE(!data.empty());
+  DOZZ_REQUIRE(data.num_features() == num_features_);
+  const auto h = static_cast<std::size_t>(options_.hidden_units);
+  const std::size_t n = data.size();
+  Rng rng(options_.seed ^ 0xABCDEF);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> hidden(h);
+  std::vector<double> grad_w1(w1_.size());
+  std::vector<double> grad_b1(h);
+  std::vector<double> grad_w2(h);
+
+  double last_mse = 0.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = n; i > 1; --i)
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+
+    last_mse = 0.0;
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(options_.batch_size)) {
+      const std::size_t end = std::min(
+          n, start + static_cast<std::size_t>(options_.batch_size));
+      std::fill(grad_w1.begin(), grad_w1.end(), 0.0);
+      std::fill(grad_b1.begin(), grad_b1.end(), 0.0);
+      std::fill(grad_w2.begin(), grad_w2.end(), 0.0);
+      double grad_b2 = 0.0;
+
+      for (std::size_t k = start; k < end; ++k) {
+        const Example& e = data.example(order[k]);
+        const double y = forward(e.features, &hidden);
+        const double err = y - e.label;
+        last_mse += err * err;
+        grad_b2 += err;
+        for (std::size_t j = 0; j < h; ++j) {
+          grad_w2[j] += err * hidden[j];
+          if (hidden[j] > 0.0) {  // ReLU gate
+            const double back = err * w2_[j];
+            grad_b1[j] += back;
+            double* grow = &grad_w1[j * num_features_];
+            for (std::size_t i = 0; i < num_features_; ++i)
+              grow[i] += back * e.features[i];
+          }
+        }
+      }
+
+      const double lr =
+          options_.learning_rate / static_cast<double>(end - start);
+      for (std::size_t i = 0; i < w1_.size(); ++i)
+        w1_[i] -= lr * (grad_w1[i] + options_.l2 * w1_[i]);
+      for (std::size_t j = 0; j < h; ++j) {
+        b1_[j] -= lr * grad_b1[j];
+        w2_[j] -= lr * (grad_w2[j] + options_.l2 * w2_[j]);
+      }
+      b2_ -= lr * grad_b2;
+    }
+    last_mse /= static_cast<double>(n);
+  }
+  return last_mse;
+}
+
+double MlpRegressor::predict(const std::vector<double>& features) const {
+  return forward(features, nullptr);
+}
+
+double MlpRegressor::evaluate_mse(const Dataset& data) const {
+  DOZZ_REQUIRE(!data.empty());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double d = predict(data.example(i).features) - data.example(i).label;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(data.size());
+}
+
+int MlpRegressor::macs_per_label() const {
+  return static_cast<int>(num_features_) * options_.hidden_units +
+         options_.hidden_units;
+}
+
+}  // namespace dozz

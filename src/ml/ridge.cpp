@@ -1,0 +1,115 @@
+#include "src/ml/ridge.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+double WeightVector::predict(const std::vector<double>& features) const {
+  DOZZ_REQUIRE(features.size() == weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    acc += weights[i] * features[i];
+  return acc;
+}
+
+void WeightVector::save(std::ostream& out) const {
+  DOZZ_REQUIRE(feature_names.size() == weights.size());
+  // max_digits10 keeps the round trip bit-exact: a cached model must
+  // behave identically to the freshly trained one.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "dozznoc-weights v1\n";
+  out << lambda << '\n';
+  out << weights.size() << '\n';
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    out << feature_names[i] << ' ' << weights[i] << '\n';
+}
+
+WeightVector WeightVector::load(std::istream& in) {
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != "dozznoc-weights" || version != "v1")
+    throw InputError("bad weight file header");
+  WeightVector w;
+  std::size_t n = 0;
+  in >> w.lambda >> n;
+  if (!in || n == 0 || n > 10000) throw InputError("bad weight file size");
+  w.feature_names.resize(n);
+  w.weights.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in >> w.feature_names[i] >> w.weights[i];
+    if (!in) throw InputError("truncated weight file");
+  }
+  return w;
+}
+
+WeightVector RidgeRegression::fit(const Dataset& data, const Options& options) {
+  DOZZ_REQUIRE(!data.empty());
+  DOZZ_REQUIRE(options.lambda >= 0.0);
+  const Matrix x = data.design_matrix();
+  const std::vector<double> t = data.labels();
+
+  Matrix a = x.gram();  // X^T X
+  const std::size_t m = a.rows();
+  for (std::size_t j = 0; j < m; ++j) {
+    const bool is_bias = !options.penalize_bias && j == 0 &&
+                         data.feature_names()[0] == "bias";
+    // A tiny floor keeps the system SPD even for degenerate features.
+    const double reg = is_bias ? 1e-12 : options.lambda + 1e-12;
+    a.at(j, j) += reg;
+  }
+
+  WeightVector w;
+  w.feature_names = data.feature_names();
+  w.weights = cholesky_solve(a, x.transpose_times(t));
+  w.lambda = options.lambda;
+  return w;
+}
+
+double RidgeRegression::evaluate_mse(const WeightVector& weights,
+                                     const Dataset& data) {
+  DOZZ_REQUIRE(!data.empty());
+  const Matrix x = data.design_matrix();
+  return mean_squared_error(x.times(weights.weights), data.labels());
+}
+
+double RidgeRegression::evaluate_r2(const WeightVector& weights,
+                                    const Dataset& data) {
+  DOZZ_REQUIRE(!data.empty());
+  const Matrix x = data.design_matrix();
+  return r_squared(x.times(weights.weights), data.labels());
+}
+
+TuningResult tune_lambda(const Dataset& train, const Dataset& validation,
+                         const std::vector<double>& grid, bool penalize_bias) {
+  DOZZ_REQUIRE(!grid.empty());
+  TuningResult result;
+  result.lambdas = grid;
+  result.best_validation_mse = std::numeric_limits<double>::infinity();
+  for (double lambda : grid) {
+    RidgeRegression::Options opt;
+    opt.lambda = lambda;
+    opt.penalize_bias = penalize_bias;
+    WeightVector w = RidgeRegression::fit(train, opt);
+    const double mse = RidgeRegression::evaluate_mse(w, validation);
+    result.validation_mse.push_back(mse);
+    if (mse < result.best_validation_mse) {
+      result.best_validation_mse = mse;
+      result.best = std::move(w);
+    }
+  }
+  return result;
+}
+
+const std::vector<double>& default_lambda_grid() {
+  static const std::vector<double> kGrid = {1e-4, 1e-3, 1e-2, 1e-1,
+                                            1.0,  1e1,  1e2,  1e3};
+  return kGrid;
+}
+
+}  // namespace dozz

@@ -1,0 +1,71 @@
+// Ridge regression (paper §III-D):
+//
+//   E(w) = 1/2 sum_n (y(x_n, w) - t_n)^2 + lambda/2 * sum_j w_j^2
+//
+// minimized in closed form via the normal equations
+// (X^T X + lambda I) w = X^T t, solved with a Cholesky factorization.
+// The bias (all-ones) feature is, by convention, not regularized when
+// `penalize_bias` is false.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/ml/dataset.hpp"
+#include "src/ml/matrix.hpp"
+
+namespace dozz {
+
+/// Trained weight vector with its feature names, serializable so weights
+/// trained offline can be imported by the network simulator.
+struct WeightVector {
+  std::vector<std::string> feature_names;
+  std::vector<double> weights;
+  double lambda = 0.0;  ///< Regularization strength used during training.
+
+  /// Dot product of weights and features (the predicted label).
+  double predict(const std::vector<double>& features) const;
+
+  void save(std::ostream& out) const;
+  static WeightVector load(std::istream& in);
+};
+
+/// Closed-form ridge-regression trainer.
+class RidgeRegression {
+ public:
+  struct Options {
+    double lambda = 1.0;
+    bool penalize_bias = false;  ///< Skip regularizing a leading 1s column.
+  };
+
+  /// Fits weights on the dataset. The first column is treated as the bias
+  /// when options.penalize_bias is false and the column name is "bias".
+  static WeightVector fit(const Dataset& data, const Options& options);
+
+  /// Mean squared prediction error of `weights` on `data`.
+  static double evaluate_mse(const WeightVector& weights, const Dataset& data);
+
+  /// R^2 of `weights` on `data`.
+  static double evaluate_r2(const WeightVector& weights, const Dataset& data);
+};
+
+/// Result of a lambda grid search.
+struct TuningResult {
+  WeightVector best;               ///< Weights refit with the winning lambda.
+  double best_validation_mse = 0;  ///< Validation MSE of the winner.
+  std::vector<double> lambdas;     ///< Grid that was searched.
+  std::vector<double> validation_mse;  ///< MSE per grid point.
+};
+
+/// Fits on `train` for every lambda in `grid`, evaluates on `validation`,
+/// and returns the weights with the lowest validation MSE (paper's offline
+/// hyper-parameter tuning step).
+TuningResult tune_lambda(const Dataset& train, const Dataset& validation,
+                         const std::vector<double>& grid,
+                         bool penalize_bias = false);
+
+/// The default lambda grid used throughout the repo: 1e-4 ... 1e3, decades.
+const std::vector<double>& default_lambda_grid();
+
+}  // namespace dozz

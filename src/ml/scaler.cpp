@@ -1,0 +1,73 @@
+#include "src/ml/scaler.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+StandardScaler StandardScaler::fit(const Dataset& data) {
+  DOZZ_REQUIRE(!data.empty());
+  const std::size_t m = data.num_features();
+  StandardScaler scaler;
+  scaler.names_ = data.feature_names();
+  scaler.means_.assign(m, 0.0);
+  scaler.stddevs_.assign(m, 1.0);
+
+  const auto n = static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i)
+    for (std::size_t c = 0; c < m; ++c)
+      scaler.means_[c] += data.example(i).features[c];
+  for (auto& mean : scaler.means_) mean /= n;
+
+  std::vector<double> var(m, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    for (std::size_t c = 0; c < m; ++c) {
+      const double d = data.example(i).features[c] - scaler.means_[c];
+      var[c] += d * d;
+    }
+  for (std::size_t c = 0; c < m; ++c) {
+    const double sd = std::sqrt(var[c] / n);
+    scaler.stddevs_[c] = sd > 1e-12 ? sd : 1.0;
+    if (scaler.names_[c] == "bias") {
+      scaler.means_[c] = 0.0;
+      scaler.stddevs_[c] = 1.0;
+    }
+  }
+  return scaler;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+  DOZZ_REQUIRE(data.num_features() == means_.size());
+  Dataset out(data.feature_names());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::vector<double> feats = data.example(i).features;
+    transform_row(feats);
+    out.add(std::move(feats), data.example(i).label);
+  }
+  return out;
+}
+
+void StandardScaler::transform_row(std::vector<double>& features) const {
+  DOZZ_REQUIRE(features.size() == means_.size());
+  for (std::size_t c = 0; c < features.size(); ++c)
+    features[c] = (features[c] - means_[c]) / stddevs_[c];
+}
+
+WeightVector fold_scaler(const WeightVector& scaled_weights,
+                         const StandardScaler& scaler) {
+  const auto& w = scaled_weights.weights;
+  DOZZ_REQUIRE(w.size() == scaler.means().size());
+  DOZZ_REQUIRE(!scaled_weights.feature_names.empty() &&
+               scaled_weights.feature_names[0] == "bias");
+  WeightVector raw = scaled_weights;
+  double bias_shift = 0.0;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    raw.weights[i] = w[i] / scaler.stddevs()[i];
+    bias_shift += w[i] * scaler.means()[i] / scaler.stddevs()[i];
+  }
+  raw.weights[0] = w[0] - bias_shift;
+  return raw;
+}
+
+}  // namespace dozz

@@ -1,0 +1,47 @@
+// Feature standardization (zero mean, unit variance) for ridge training.
+// The bias column (named "bias") is left untouched.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ml/dataset.hpp"
+#include "src/ml/ridge.hpp"
+
+namespace dozz {
+
+/// Per-column affine transform fit on a training set and applied to any
+/// other set (validation/test must reuse the training statistics).
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation from `data`.
+  static StandardScaler fit(const Dataset& data);
+
+  /// Applies the transform; returns a new dataset with identical labels.
+  Dataset transform(const Dataset& data) const;
+
+  /// Transforms a single feature vector in place.
+  void transform_row(std::vector<double>& features) const;
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+/// Folds a standardization transform into a weight vector trained on scaled
+/// features, producing weights that apply directly to *raw* features:
+///
+///   w . ((x - mu) / sigma)  ==  sum_i (w_i / sigma_i) x_i
+///                               + (w_bias - sum_i w_i mu_i / sigma_i)
+///
+/// This keeps the runtime Label Generate unit a plain dot product (five
+/// multiplies and four adds, paper §III-D). The first feature must be the
+/// "bias" column.
+WeightVector fold_scaler(const WeightVector& scaled_weights,
+                         const StandardScaler& scaler);
+
+}  // namespace dozz

@@ -1,0 +1,61 @@
+// Timed point-to-point channels carrying flits (forward) and credits
+// (backward) between routers in different clock domains. Entries mature at
+// an absolute tick and are drained by the receiving router at its own clock
+// edges, which is how the paper's "hop latency is set by the upstream
+// router's frequency" semantics fall out naturally.
+#pragma once
+
+#include <deque>
+
+#include "src/common/error.hpp"
+#include "src/common/time.hpp"
+#include "src/noc/flit.hpp"
+
+namespace dozz {
+
+/// A flit in flight on a link, destined for input VC `vc` at the receiver.
+struct TimedFlit {
+  Tick arrival = 0;
+  int vc = 0;
+  Flit flit;
+};
+
+/// A credit in flight back to the upstream router, for (out_port, vc).
+struct TimedCredit {
+  Tick arrival = 0;
+  int port = 0;
+  int vc = 0;
+};
+
+/// FIFO of timed entries; arrival times are nondecreasing per channel.
+template <typename Entry>
+class TimedChannel {
+ public:
+  void push(Entry entry) {
+    DOZZ_ASSERT(entries_.empty() || entries_.back().arrival <= entry.arrival);
+    entries_.push_back(std::move(entry));
+  }
+
+  /// True if an entry has matured at or before `now`.
+  bool ready(Tick now) const {
+    return !entries_.empty() && entries_.front().arrival <= now;
+  }
+
+  Entry pop() {
+    DOZZ_ASSERT(!entries_.empty());
+    Entry e = std::move(entries_.front());
+    entries_.pop_front();
+    return e;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::deque<Entry> entries_;
+};
+
+using FlitChannel = TimedChannel<TimedFlit>;
+using CreditChannel = TimedChannel<TimedCredit>;
+
+}  // namespace dozz

@@ -1,0 +1,71 @@
+#include "src/noc/extended_features.hpp"
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+std::vector<std::string> extended_feature_names(int ports) {
+  DOZZ_REQUIRE(ports > 0);
+  std::vector<std::string> names = {
+      // The Table IV five, in the same order as EpochFeatures.
+      "bias", "reqs_sent", "reqs_received", "total_off_kcycles",
+      "current_ibu",
+      // Window-level activity.
+      "mean_ibu", "raw_peak_ibu", "idle_fraction", "edges_k", "injected",
+      "ejected", "secures", "epoch_hops", "epoch_wakeups", "epoch_gatings",
+      "epoch_switches", "epoch_off_fraction", "mode_index",
+  };
+  for (const char* group : {"occ_mean", "occ_peak", "arrivals", "departures"})
+    for (int p = 0; p < ports; ++p)
+      names.push_back(std::string(group) + "_p" + std::to_string(p));
+  names.push_back("prev_reqs_sent");
+  names.push_back("prev_reqs_received");
+  names.push_back("prev_current_ibu");
+  return names;
+}
+
+std::size_t extended_ibu_column() { return 4; }
+
+std::vector<double> build_extended_features(const ExtendedFeatureInputs& in) {
+  const std::size_t ports = in.counters.port_occ_mean.size();
+  DOZZ_REQUIRE(ports > 0);
+  DOZZ_REQUIRE(in.counters.port_occ_peak.size() == ports &&
+               in.counters.port_arrivals.size() == ports &&
+               in.counters.port_departures.size() == ports);
+
+  std::vector<double> v;
+  v.reserve(18 + 4 * ports + 3);
+  v.push_back(in.base.bias);
+  v.push_back(in.base.reqs_sent);
+  v.push_back(in.base.reqs_received);
+  v.push_back(in.base.total_off_kcycles);
+  v.push_back(in.base.current_ibu);
+
+  v.push_back(in.mean_ibu);
+  v.push_back(in.counters.raw_peak_ibu);
+  v.push_back(in.counters.idle_fraction);
+  v.push_back(in.counters.edges / 1000.0);
+  v.push_back(in.counters.injected);
+  v.push_back(in.counters.ejected);
+  v.push_back(in.counters.secures);
+  v.push_back(in.epoch_hops);
+  v.push_back(in.epoch_wakeups);
+  v.push_back(in.epoch_gatings);
+  v.push_back(in.epoch_switches);
+  v.push_back(in.epoch_off_fraction);
+  v.push_back(in.mode_index_now);
+
+  for (const auto* group :
+       {&in.counters.port_occ_mean, &in.counters.port_occ_peak,
+        &in.counters.port_arrivals, &in.counters.port_departures})
+    v.insert(v.end(), group->begin(), group->end());
+
+  v.push_back(in.prev_base.reqs_sent);
+  v.push_back(in.prev_base.reqs_received);
+  v.push_back(in.prev_base.current_ibu);
+
+  DOZZ_ASSERT(v.size() == extended_feature_names(static_cast<int>(ports)).size());
+  return v;
+}
+
+}  // namespace dozz

@@ -1,0 +1,43 @@
+// The extended feature set of the paper's feature-reduction study
+// (Sec. IV-B1): the original LEAD-style set had 41 features; DozzNoC shows
+// that the 5-feature subset of Table IV loses essentially nothing.
+//
+// On the 8x8 mesh (5 router ports) this set is exactly 41 features:
+// the 5 Table IV features, 13 window-level activity metrics, 4 per-port
+// metric groups (occupancy mean/peak, arrivals, departures), and 3
+// previous-window temporal features.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/noc/router.hpp"
+#include "src/noc/stats.hpp"
+
+namespace dozz {
+
+/// Everything the extended set is computed from at one window boundary.
+struct ExtendedFeatureInputs {
+  EpochFeatures base;              ///< The Table IV five.
+  Router::EpochCounters counters;  ///< Fine-grained router activity.
+  double mean_ibu = 0.0;           ///< Window-average utilization.
+  double epoch_hops = 0.0;         ///< Flit hops charged this window.
+  double epoch_wakeups = 0.0;
+  double epoch_gatings = 0.0;
+  double epoch_switches = 0.0;
+  double epoch_off_fraction = 0.0;  ///< Fraction of the window spent gated.
+  double mode_index_now = 0.0;      ///< Current active mode (0..4).
+  EpochFeatures prev_base;          ///< Previous window's Table IV five.
+};
+
+/// Feature names in vector order for a router with `ports` ports.
+/// Exactly 41 names when ports == 5.
+std::vector<std::string> extended_feature_names(int ports);
+
+/// Builds the feature vector; size matches extended_feature_names(ports).
+std::vector<double> build_extended_features(const ExtendedFeatureInputs& in);
+
+/// Index of the "current_ibu" column (the label source) in the vector.
+std::size_t extended_ibu_column();
+
+}  // namespace dozz

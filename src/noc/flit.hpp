@@ -1,0 +1,44 @@
+// Flits and packets. Wormhole switching: a packet is a head flit, zero or
+// more body flits, and a tail flit (a single-flit packet is both head and
+// tail). 128-bit flits as in the paper; a request is one control flit, a
+// response carries a cache line and spans several flits.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/time.hpp"
+#include "src/topology/topology.hpp"
+
+namespace dozz {
+
+/// One flow-control unit traversing the network.
+struct Flit {
+  std::uint64_t packet_id = 0;
+  CoreId src_core = 0;
+  CoreId dst_core = 0;
+  RouterId dst_router = 0;
+  bool is_head = false;
+  bool is_tail = false;
+  bool is_response = false;
+  std::uint8_t vc_class = 0;  ///< Torus dateline VC class (0 until the
+                              ///< packet crosses a wraparound link in the
+                              ///< current dimension).
+  std::uint16_t packet_size_flits = 1;
+  Tick inject_tick = 0;    ///< When the packet entered the source NI queue.
+  Tick enter_tick = 0;     ///< When this flit entered the source router.
+  Tick eligible_tick = 0;  ///< Router-local: earliest SA participation time.
+  std::uint16_t hops = 0;  ///< Router traversals so far.
+};
+
+/// A packet waiting in a network-interface injection queue.
+struct PendingPacket {
+  std::uint64_t packet_id = 0;
+  CoreId src_core = 0;
+  CoreId dst_core = 0;
+  bool is_response = false;
+  std::uint16_t size_flits = 1;
+  Tick inject_tick = 0;     ///< When the packet became ready at the NI.
+  std::uint16_t sent_flits = 0;  ///< Progress of flit-by-flit injection.
+};
+
+}  // namespace dozz

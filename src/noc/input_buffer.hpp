@@ -1,0 +1,106 @@
+// Virtual-channel input buffering with wormhole allocation state.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/noc/flit.hpp"
+
+namespace dozz {
+
+/// One virtual channel: a flit FIFO plus the wormhole allocation of the
+/// packet currently crossing it.
+class VirtualChannel {
+ public:
+  explicit VirtualChannel(int depth) : depth_(depth) {
+    DOZZ_REQUIRE(depth > 0);
+  }
+
+  bool empty() const { return queue_.empty(); }
+  bool full() const { return static_cast<int>(queue_.size()) >= depth_; }
+  int occupancy() const { return static_cast<int>(queue_.size()); }
+  int depth() const { return depth_; }
+  int free_slots() const { return depth_ - occupancy(); }
+
+  void push(const Flit& flit) {
+    DOZZ_ASSERT(!full());
+    queue_.push_back(flit);
+  }
+
+  const Flit& front() const {
+    DOZZ_ASSERT(!empty());
+    return queue_.front();
+  }
+
+  Flit pop() {
+    DOZZ_ASSERT(!empty());
+    Flit f = queue_.front();
+    queue_.pop_front();
+    return f;
+  }
+
+  // Wormhole allocation for the packet at the front of this VC.
+  bool allocated() const { return allocated_; }
+  int out_port() const { return out_port_; }
+  int out_vc() const { return out_vc_; }
+
+  void allocate(int out_port, int out_vc) {
+    DOZZ_ASSERT(!allocated_);
+    allocated_ = true;
+    out_port_ = out_port;
+    out_vc_ = out_vc;
+  }
+
+  void release() {
+    allocated_ = false;
+    out_port_ = -1;
+    out_vc_ = -1;
+  }
+
+ private:
+  int depth_;
+  std::deque<Flit> queue_;
+  bool allocated_ = false;
+  int out_port_ = -1;
+  int out_vc_ = -1;
+};
+
+/// One input port: a set of virtual channels.
+class InputPort {
+ public:
+  InputPort(int vcs, int depth) {
+    DOZZ_REQUIRE(vcs > 0);
+    vcs_.reserve(static_cast<std::size_t>(vcs));
+    for (int v = 0; v < vcs; ++v) vcs_.emplace_back(depth);
+  }
+
+  int num_vcs() const { return static_cast<int>(vcs_.size()); }
+  VirtualChannel& vc(int v) { return vcs_[static_cast<std::size_t>(v)]; }
+  const VirtualChannel& vc(int v) const {
+    return vcs_[static_cast<std::size_t>(v)];
+  }
+
+  bool all_empty() const {
+    for (const auto& v : vcs_)
+      if (!v.empty()) return false;
+    return true;
+  }
+
+  int total_occupancy() const {
+    int total = 0;
+    for (const auto& v : vcs_) total += v.occupancy();
+    return total;
+  }
+
+  int total_capacity() const {
+    int total = 0;
+    for (const auto& v : vcs_) total += v.depth();
+    return total;
+  }
+
+ private:
+  std::vector<VirtualChannel> vcs_;
+};
+
+}  // namespace dozz

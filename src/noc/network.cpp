@@ -1,0 +1,358 @@
+#include "src/noc/network.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+#include "src/noc/extended_features.hpp"
+
+namespace dozz {
+
+Network::Network(const Topology& topo, const NocConfig& config,
+                 PowerController& policy, const PowerModel& power,
+                 const SimoLdoRegulator& regulator)
+    : topo_(&topo), config_(config), policy_(&policy), power_(&power),
+      regulator_(&regulator), ml_overhead_(policy.label_feature_count()) {
+  const int n = topo.num_routers();
+  routers_.reserve(static_cast<std::size_t>(n));
+  nics_.reserve(static_cast<std::size_t>(n));
+  for (RouterId r = 0; r < n; ++r) {
+    routers_.emplace_back(r, topo, config_, regulator,
+                          EnergyAccountant(power, regulator, ml_overhead_),
+                          policy.initial_mode());
+    nics_.emplace_back(r, topo, config_);
+  }
+  snapshots_.resize(static_cast<std::size_t>(n));
+}
+
+Router& Network::router(RouterId r) {
+  DOZZ_REQUIRE(r >= 0 && r < static_cast<RouterId>(routers_.size()));
+  return routers_[static_cast<std::size_t>(r)];
+}
+
+const Router& Network::router(RouterId r) const {
+  DOZZ_REQUIRE(r >= 0 && r < static_cast<RouterId>(routers_.size()));
+  return routers_[static_cast<std::size_t>(r)];
+}
+
+NetworkInterface& Network::nic(RouterId r) {
+  DOZZ_REQUIRE(r >= 0 && r < static_cast<RouterId>(nics_.size()));
+  return nics_[static_cast<std::size_t>(r)];
+}
+
+bool Network::downstream_can_accept(RouterId r) const {
+  return router(r).state() == RouterState::kActive;
+}
+
+void Network::secure(RouterId r, Tick now) {
+  Router& target = router(r);
+  target.mark_secured(now);
+  if (target.state() == RouterState::kInactive &&
+      policy_->gating_enabled()) {
+    target.request_wake(now);
+    if (observer_ != nullptr) observer_->on_wakeup_begin(now, r);
+  }
+}
+
+void Network::punch_ahead(RouterId r, RouterId dst, Tick now) {
+  if (const auto nh = topo_->next_hop(r, dst, config_.routing))
+    secure(*nh, now);
+}
+
+void Network::secure_path(RouterId src, RouterId dst, Tick now) {
+  RouterId cur = src;
+  secure(cur, now);
+  while (cur != dst) {
+    const auto nh = topo_->next_hop(cur, dst, config_.routing);
+    DOZZ_ASSERT(nh.has_value());
+    cur = *nh;
+    secure(cur, now);
+  }
+}
+
+void Network::deliver(RouterId r, int port, int vc, Tick arrival,
+                      const Flit& flit) {
+  Router& target = router(r);
+  target.flit_in(port).push({arrival, vc, flit});
+  target.note_inbound();
+}
+
+void Network::send_credit(RouterId upstream, int port, int vc, Tick arrival) {
+  router(upstream).credit_in(port).push({arrival, port, vc});
+}
+
+void Network::eject(RouterId r, const Flit& flit, Tick now) {
+  ++metrics_.flits_delivered;
+  if (!flit.is_tail) return;
+
+  NetworkInterface& sink = nic(r);
+  sink.on_ejected_packet(flit);
+  if (observer_ != nullptr) observer_->on_packet_delivered(now, flit);
+  ++metrics_.packets_delivered;
+  if (flit.is_response)
+    ++metrics_.responses_delivered;
+  else
+    ++metrics_.requests_delivered;
+  const double latency_ns = ns_from_ticks(now - flit.inject_tick);
+  metrics_.packet_latency_ns.add(latency_ns);
+  latency_hist_.add(latency_ns);
+  metrics_.network_latency_ns.add(ns_from_ticks(now - flit.enter_tick));
+  metrics_.packet_hops.add(static_cast<double>(flit.hops));
+
+  if (!flit.is_response && config_.auto_response) {
+    const Tick ready = now + ticks_from_ns(config_.response_delay_ns);
+    sink.schedule_response(next_packet_id_++, flit.dst_core, flit.src_core,
+                           ready);
+  }
+}
+
+Tick Network::next_event_after(Tick trace_next) const {
+  Tick t = trace_next;
+  for (const auto& r : routers_) t = std::min(t, r.next_edge());
+  for (const auto& n : nics_) t = std::min(t, n.next_response_tick());
+  return t;
+}
+
+void Network::run(const Trace& trace, Tick end_tick) {
+  run_loop(trace, end_tick, /*drain=*/false);
+}
+
+void Network::run_until_drained(const Trace& trace, Tick max_ticks) {
+  run_loop(trace, max_ticks, /*drain=*/true);
+}
+
+void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
+  DOZZ_REQUIRE(!ran_);
+  DOZZ_REQUIRE(end_tick > 0);
+  ran_ = true;
+
+  const auto& entries = trace.entries();
+  std::size_t cursor = 0;
+  Tick next_epoch = config_.epoch_ticks();
+  Tick last_event = 0;
+
+  auto drained = [&]() {
+    if (cursor < entries.size()) return false;
+    if (metrics_.packets_delivered != metrics_.packets_offered) return false;
+    for (const auto& n : nics_)
+      if (n.has_backlog() || n.next_response_tick() != kInfTick) return false;
+    return true;
+  };
+
+  while (true) {
+    if (drain && drained()) break;
+    const Tick trace_next =
+        cursor < entries.size() ? entries[cursor].inject_tick() : kInfTick;
+    Tick t = std::min(next_event_after(trace_next), next_epoch);
+    if (t >= end_tick) break;
+    DOZZ_ASSERT(t >= now_);
+    now_ = t;
+    last_event = t;
+
+    // 1. Matured trace entries become pending packets at their source NI.
+    while (cursor < entries.size() && entries[cursor].inject_tick() <= now_) {
+      const TraceEntry& e = entries[cursor++];
+      PendingPacket p;
+      p.packet_id = next_packet_id_++;
+      p.src_core = e.src;
+      p.dst_core = e.dst;
+      p.is_response = e.is_response;
+      p.size_flits = static_cast<std::uint16_t>(
+          e.is_response ? config_.response_size_flits
+                        : config_.request_size_flits);
+      p.inject_tick = now_;
+      const RouterId home = topo_->router_of_core(e.src);
+      nic(home).enqueue(p);
+      ++metrics_.packets_offered;
+      if (observer_ != nullptr)
+        observer_->on_packet_offered(now_, e.src, e.dst, e.is_response);
+      if (policy_->gating_enabled()) {
+        if (config_.lookahead_punch) {
+          secure_path(home, topo_->router_of_core(e.dst), now_);
+        } else {
+          secure(home, now_);
+        }
+      }
+    }
+
+    // 2. Matured responses.
+    for (auto& n : nics_) {
+      if (n.next_response_tick() > now_) continue;
+      std::vector<CoreId> dsts;
+      const int matured = n.mature_responses(now_, &dsts);
+      metrics_.packets_offered += static_cast<std::uint64_t>(matured);
+      if (matured > 0 && policy_->gating_enabled()) {
+        if (config_.lookahead_punch) {
+          for (CoreId dst : dsts)
+            secure_path(n.router(), topo_->router_of_core(dst), now_);
+        } else {
+          secure(n.router(), now_);
+        }
+      }
+    }
+
+    // 3. Epoch boundary: feature capture and DVFS mode selection.
+    if (now_ == next_epoch) {
+      process_epoch(now_);
+      next_epoch += config_.epoch_ticks();
+    }
+
+    // 4. Clock edges, in router-id order for determinism.
+    for (std::size_t i = 0; i < routers_.size(); ++i) {
+      Router& r = routers_[i];
+      if (r.next_edge() > now_) continue;
+      r.account_until(now_);
+      r.pre_step(now_);
+      nics_[i].inject_into(r, now_);
+      r.pipeline_step(now_, *this);
+      r.post_step(now_, nics_[i].has_backlog());
+      if (policy_->gating_enabled() && policy_->may_gate(r.id()) &&
+          r.can_gate(now_)) {
+        r.gate_off(now_);
+        if (observer_ != nullptr) observer_->on_gate_off(now_, r.id());
+      }
+      r.advance_clock(now_);
+    }
+  }
+
+  // In drain mode the run's duration is the time of the last event (the
+  // final delivery); in window mode it is the fixed horizon.
+  compile_metrics(drain ? std::max<Tick>(last_event, 1) : end_tick);
+}
+
+void Network::process_epoch(Tick now) {
+  if (observer_ != nullptr)
+    observer_->on_epoch_boundary(now, epochs_processed_);
+  policy_->on_epoch_begin(epochs_processed_++);
+  const bool extended =
+      config_.collect_extended_log || policy_->wants_extended_features();
+  std::vector<EpochFeatures> row;
+  std::vector<std::vector<double>> ext_row;
+  if (config_.collect_epoch_log) row.reserve(routers_.size());
+  if (config_.collect_extended_log) ext_row.reserve(routers_.size());
+
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    Router& r = routers_[i];
+    NetworkInterface& n = nics_[i];
+    RouterSnapshot& snap = snapshots_[i];
+
+    EpochFeatures f;
+    f.bias = 1.0;
+    f.reqs_sent = static_cast<double>(n.epoch_requests_sent());
+    f.reqs_received = static_cast<double>(n.epoch_requests_received());
+    f.total_off_kcycles = static_cast<double>(r.total_off_ticks(now)) /
+                          (1000.0 * static_cast<double>(kBaselinePeriodTicks));
+    f.current_ibu = r.epoch_ibu();
+    if (config_.collect_epoch_log) row.push_back(f);
+
+    std::vector<double> ext;
+    if (extended) {
+      // Flush static accounting so the per-window off time is current.
+      r.account_until(now);
+      ExtendedFeatureInputs in;
+      in.base = f;
+      in.counters = r.epoch_counters();
+      in.mean_ibu = r.epoch_mean_ibu();
+      in.epoch_hops =
+          static_cast<double>(r.accountant().hops() - snap.hops);
+      in.epoch_wakeups = static_cast<double>(r.wakeups() - snap.wakeups);
+      in.epoch_gatings = static_cast<double>(r.gatings() - snap.gatings);
+      in.epoch_switches =
+          static_cast<double>(r.mode_switches() - snap.switches);
+      const Tick window = now - snap.epoch_start;
+      in.epoch_off_fraction =
+          window == 0
+              ? 0.0
+              : static_cast<double>(r.total_off_ticks(now) -
+                                    snap.inactive_ticks) /
+                    static_cast<double>(window);
+      in.mode_index_now = static_cast<double>(mode_index(r.active_mode()));
+      in.prev_base = snap.prev_base;
+      ext = build_extended_features(in);
+      if (config_.collect_extended_log) ext_row.push_back(ext);
+
+      snap.hops = r.accountant().hops();
+      snap.wakeups = r.wakeups();
+      snap.gatings = r.gatings();
+      snap.switches = r.mode_switches();
+      snap.inactive_ticks = r.total_off_ticks(now);
+      snap.epoch_start = now;
+      snap.prev_base = f;
+    }
+
+    if (r.state() == RouterState::kActive) {
+      const VfMode mode = policy_->wants_extended_features()
+                              ? policy_->select_mode_extended(r.id(), ext)
+                              : policy_->select_mode(r.id(), f);
+      if (policy_->uses_ml()) {
+        r.charge_label();
+        ++metrics_.labels_computed;
+      }
+      ++metrics_.epoch_mode_counts[static_cast<std::size_t>(
+          mode_index(mode))];
+      if (observer_ != nullptr) observer_->on_mode_selected(now, r.id(), mode);
+      r.set_active_mode(mode, now);
+    }
+
+    n.reset_epoch_window();
+    r.reset_epoch_window();
+  }
+  if (config_.collect_epoch_log) epoch_log_.push_back(std::move(row));
+  if (config_.collect_extended_log)
+    extended_log_.push_back(std::move(ext_row));
+}
+
+void Network::compile_metrics(Tick end_tick) {
+  metrics_.sim_ticks = end_tick;
+  double total_router_ticks = 0.0;
+  double ibu_sum = 0.0;
+  double off_ticks = 0.0;
+
+  for (auto& r : routers_) {
+    r.account_until(end_tick);
+    const EnergyAccountant& acc = r.accountant();
+    metrics_.static_energy_j += acc.static_energy_j();
+    metrics_.dynamic_energy_j += acc.dynamic_energy_j();
+    metrics_.ml_energy_j += acc.ml_energy_j();
+    metrics_.wall_static_energy_j += acc.wall_static_energy_j();
+    metrics_.wall_dynamic_energy_j += acc.wall_dynamic_energy_j();
+    metrics_.gatings += r.gatings();
+    metrics_.wakeups += r.wakeups();
+    metrics_.premature_wakeups += r.premature_wakeups();
+    metrics_.mode_switches += r.mode_switches();
+
+    metrics_.state_fractions[0] +=
+        static_cast<double>(acc.inactive_ticks());
+    metrics_.state_fractions[1] += static_cast<double>(acc.wakeup_ticks());
+    for (int m = 0; m < kNumVfModes; ++m) {
+      metrics_.state_fractions[static_cast<std::size_t>(2 + m)] +=
+          static_cast<double>(
+              r.active_mode_ticks()[static_cast<std::size_t>(m)]);
+    }
+    total_router_ticks += static_cast<double>(acc.accounted_ticks());
+    off_ticks += static_cast<double>(acc.inactive_ticks());
+    ibu_sum += r.lifetime_ibu();
+  }
+
+  if (total_router_ticks > 0) {
+    for (auto& fraction : metrics_.state_fractions)
+      fraction /= total_router_ticks;
+    metrics_.off_time_fraction = off_ticks / total_router_ticks;
+  }
+  if (!routers_.empty())
+    metrics_.avg_ibu = ibu_sum / static_cast<double>(routers_.size());
+
+  if (latency_hist_.total() > 0) {
+    metrics_.latency_p50_ns = latency_hist_.quantile(0.50);
+    metrics_.latency_p95_ns = latency_hist_.quantile(0.95);
+    metrics_.latency_p99_ns = latency_hist_.quantile(0.99);
+  }
+
+  DOZZ_LOG_INFO("run complete: policy=" << policy_->name()
+                << " delivered=" << metrics_.packets_delivered << "/"
+                << metrics_.packets_offered
+                << " static=" << metrics_.static_energy_j
+                << "J dynamic=" << metrics_.dynamic_energy_j << "J");
+}
+
+}  // namespace dozz

@@ -1,0 +1,139 @@
+// The network: routers, links, network interfaces, the multi-clock event
+// kernel, the epoch (DVFS window) machinery, and run metrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/noc/nic.hpp"
+#include "src/noc/noc_config.hpp"
+#include "src/noc/router.hpp"
+#include "src/noc/stats.hpp"
+#include "src/power/power_model.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/topology/topology.hpp"
+#include "src/trafficgen/trace.hpp"
+
+namespace dozz {
+
+/// Observes simulation events as they happen — debugging, tracing, and
+/// custom instrumentation without touching the kernel. All callbacks have
+/// empty defaults; override what you need.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  /// A trace-origin packet matured at its source NI. (NI-generated
+  /// responses are observable at delivery.)
+  virtual void on_packet_offered(Tick /*now*/, CoreId /*src*/, CoreId /*dst*/,
+                                 bool /*is_response*/) {}
+  virtual void on_packet_delivered(Tick /*now*/, const Flit& /*tail*/) {}
+  virtual void on_gate_off(Tick /*now*/, RouterId /*r*/) {}
+  virtual void on_wakeup_begin(Tick /*now*/, RouterId /*r*/) {}
+  virtual void on_mode_selected(Tick /*now*/, RouterId /*r*/, VfMode /*m*/) {}
+  virtual void on_epoch_boundary(Tick /*now*/, std::uint64_t /*index*/) {}
+};
+
+/// A complete simulated NoC under one power-management policy.
+///
+/// Usage:
+///   Network net(topo, config, policy, power, regulator);
+///   net.run(trace, ticks_from_ns(100000));
+///   const NetworkMetrics& m = net.metrics();
+class Network : public RouterEnvironment {
+ public:
+  Network(const Topology& topo, const NocConfig& config,
+          PowerController& policy, const PowerModel& power,
+          const SimoLdoRegulator& regulator);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Runs the trace until `end_tick` (exclusive). May be called once.
+  void run(const Trace& trace, Tick end_tick);
+
+  /// Runs the trace to completion: until every offered packet (including
+  /// generated responses) has been delivered, or `max_ticks` as a safety
+  /// net. This is the paper's methodology — a slower power-management
+  /// policy takes longer wall time to finish the same work, which is what
+  /// its throughput-loss and static-energy numbers measure. May be called
+  /// once (instead of run()).
+  void run_until_drained(const Trace& trace, Tick max_ticks);
+
+  const NetworkMetrics& metrics() const { return metrics_; }
+
+  /// Per-epoch, per-router feature log (only populated when
+  /// config.collect_epoch_log is set). epoch_log()[e][r].
+  const std::vector<std::vector<EpochFeatures>>& epoch_log() const {
+    return epoch_log_;
+  }
+
+  /// Per-epoch, per-router extended feature vectors (only populated when
+  /// config.collect_extended_log is set). extended_log()[e][r][feature];
+  /// column names come from extended_feature_names(ports).
+  const std::vector<std::vector<std::vector<double>>>& extended_log() const {
+    return extended_log_;
+  }
+
+  Router& router(RouterId r);
+  const Router& router(RouterId r) const;
+  NetworkInterface& nic(RouterId r);
+  const Topology& topology() const { return *topo_; }
+  Tick now() const { return now_; }
+
+  /// Installs an event observer (nullptr to remove). The observer must
+  /// outlive the run.
+  void set_observer(EventObserver* observer) { observer_ = observer; }
+
+  // --- RouterEnvironment ---
+  bool downstream_can_accept(RouterId r) const override;
+  void secure(RouterId r, Tick now) override;
+  void punch_ahead(RouterId r, RouterId dst, Tick now) override;
+  void deliver(RouterId r, int port, int vc, Tick arrival,
+               const Flit& flit) override;
+  void send_credit(RouterId upstream, int port, int vc, Tick arrival) override;
+  void eject(RouterId r, const Flit& flit, Tick now) override;
+
+ private:
+  void run_loop(const Trace& trace, Tick end_tick, bool drain);
+  void process_epoch(Tick now);
+  void compile_metrics(Tick end_tick);
+  Tick next_event_after(Tick trace_next) const;
+  /// Power Punch: wakes/pins every router on the XY path src -> dst
+  /// (inclusive) so a matured packet does not stall hop-by-hop on wakeups.
+  void secure_path(RouterId src, RouterId dst, Tick now);
+
+  const Topology* topo_;
+  NocConfig config_;
+  PowerController* policy_;
+  const PowerModel* power_;
+  const SimoLdoRegulator* regulator_;
+  MlOverheadModel ml_overhead_;
+
+  std::vector<Router> routers_;
+  std::vector<NetworkInterface> nics_;
+
+  Tick now_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t epochs_processed_ = 0;
+  bool ran_ = false;
+  EventObserver* observer_ = nullptr;
+
+  Histogram latency_hist_{0.0, 4000.0, 8000};  ///< 0.5 ns bins.
+  NetworkMetrics metrics_;
+  std::vector<std::vector<EpochFeatures>> epoch_log_;
+  std::vector<std::vector<std::vector<double>>> extended_log_;
+
+  /// Cumulative-counter snapshots for per-window deltas (extended set).
+  struct RouterSnapshot {
+    std::uint64_t hops = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t gatings = 0;
+    std::uint64_t switches = 0;
+    Tick inactive_ticks = 0;
+    Tick epoch_start = 0;
+    EpochFeatures prev_base;
+  };
+  std::vector<RouterSnapshot> snapshots_;
+};
+
+}  // namespace dozz

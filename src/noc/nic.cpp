@@ -1,0 +1,110 @@
+#include "src/noc/nic.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+NetworkInterface::NetworkInterface(RouterId router, const Topology& topo,
+                                   const NocConfig& config)
+    : router_(router), topo_(&topo), config_(&config),
+      queues_(static_cast<std::size_t>(topo.concentration())) {}
+
+void NetworkInterface::enqueue(const PendingPacket& packet) {
+  const int slot = topo_->local_slot_of_core(packet.src_core);
+  DOZZ_REQUIRE(topo_->router_of_core(packet.src_core) == router_);
+  queues_[static_cast<std::size_t>(slot)].push_back(packet);
+  if (!packet.is_response) ++epoch_reqs_sent_;
+}
+
+void NetworkInterface::schedule_response(std::uint64_t packet_id,
+                                         CoreId responder, CoreId requester,
+                                         Tick ready_tick) {
+  PendingPacket p;
+  p.packet_id = packet_id;
+  p.src_core = responder;
+  p.dst_core = requester;
+  p.is_response = true;
+  p.size_flits = static_cast<std::uint16_t>(config_->response_size_flits);
+  p.inject_tick = ready_tick;
+  pending_responses_.push({ready_tick, p});
+}
+
+Tick NetworkInterface::next_response_tick() const {
+  return pending_responses_.empty() ? kInfTick
+                                    : pending_responses_.top().ready_tick;
+}
+
+int NetworkInterface::mature_responses(Tick now, std::vector<CoreId>* dsts) {
+  int matured = 0;
+  while (!pending_responses_.empty() &&
+         pending_responses_.top().ready_tick <= now) {
+    if (dsts != nullptr)
+      dsts->push_back(pending_responses_.top().packet.dst_core);
+    enqueue(pending_responses_.top().packet);
+    pending_responses_.pop();
+    ++matured;
+  }
+  return matured;
+}
+
+bool NetworkInterface::has_backlog() const {
+  for (const auto& q : queues_)
+    if (!q.empty()) return true;
+  return false;
+}
+
+std::size_t NetworkInterface::backlog() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+void NetworkInterface::inject_into(Router& router, Tick now) {
+  if (router.state() != RouterState::kActive || router.stalled(now)) return;
+  for (int slot = 0; slot < topo_->concentration(); ++slot) {
+    auto& queue = queues_[static_cast<std::size_t>(slot)];
+    if (queue.empty()) continue;
+    PendingPacket& packet = queue.front();
+    const int port = topo_->local_port(slot);
+
+    // Pick (or reuse) the VC carrying this packet: flits of one packet must
+    // stay in order in a single VC. A packet in progress resumes its VC
+    // (encoded as the low bits of sent progress is not enough, so we simply
+    // search for a VC with space when starting and remember it via
+    // packet_id-stable choice: the VC chosen when sent_flits == 0).
+    // New packets always start in dateline class 0 (torus deadlock rule).
+    const int injectable_vcs =
+        config_->vcs_per_port / std::max(1, config_->vc_classes);
+    int vc = static_cast<int>(packet.packet_id %
+                              static_cast<std::uint64_t>(injectable_vcs));
+    if (!router.local_vc_has_space(port, vc)) continue;
+
+    Flit flit;
+    flit.packet_id = packet.packet_id;
+    flit.src_core = packet.src_core;
+    flit.dst_core = packet.dst_core;
+    flit.dst_router = topo_->router_of_core(packet.dst_core);
+    flit.is_response = packet.is_response;
+    flit.packet_size_flits = packet.size_flits;
+    flit.is_head = (packet.sent_flits == 0);
+    flit.is_tail = (packet.sent_flits + 1 == packet.size_flits);
+    flit.inject_tick = packet.inject_tick;
+    router.accept_local(port, vc, flit, now);
+    ++packet.sent_flits;
+    if (packet.sent_flits == packet.size_flits) queue.pop_front();
+  }
+}
+
+void NetworkInterface::on_ejected_packet(const Flit& tail) {
+  DOZZ_REQUIRE(tail.is_tail);
+  if (!tail.is_response) ++epoch_reqs_recvd_;
+}
+
+void NetworkInterface::reset_epoch_window() {
+  epoch_reqs_sent_ = 0;
+  epoch_reqs_recvd_ = 0;
+}
+
+}  // namespace dozz

@@ -1,0 +1,84 @@
+// Network interface: per-router injection queues (one per attached core),
+// ejection accounting, and the request -> response protocol that gives the
+// Table IV features "requests sent/received by the cores connected to the
+// router" their meaning.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/noc/flit.hpp"
+#include "src/noc/noc_config.hpp"
+#include "src/noc/router.hpp"
+#include "src/topology/topology.hpp"
+
+namespace dozz {
+
+/// One router's network interface, multiplexing `concentration` cores onto
+/// the router's local ports.
+class NetworkInterface {
+ public:
+  NetworkInterface(RouterId router, const Topology& topo,
+                   const NocConfig& config);
+
+  RouterId router() const { return router_; }
+
+  /// Queues a matured packet for injection (trace entry or generated
+  /// response). `ready.inject_tick` must already be set.
+  void enqueue(const PendingPacket& packet);
+
+  /// Schedules a response to mature at `ready_tick`.
+  void schedule_response(std::uint64_t packet_id, CoreId responder,
+                         CoreId requester, Tick ready_tick);
+
+  /// Earliest tick at which a scheduled response matures (kInfTick if none).
+  Tick next_response_tick() const;
+
+  /// Moves matured responses into the injection queues; returns how many
+  /// matured (the caller counts them as offered packets). If `dsts` is
+  /// non-null, appends each matured response's destination core so the
+  /// caller can punch the path awake.
+  int mature_responses(Tick now, std::vector<CoreId>* dsts = nullptr);
+
+  /// True if any core has packets waiting to enter the network.
+  bool has_backlog() const;
+
+  /// Number of queued packets across all cores.
+  std::size_t backlog() const;
+
+  /// Pushes up to one flit per local port into the router's input buffers.
+  /// No-op unless the router is active.
+  void inject_into(Router& router, Tick now);
+
+  /// Ejection bookkeeping (tail flits signal packet delivery).
+  void on_ejected_packet(const Flit& tail);
+
+  // --- Epoch feature counters (paper Table IV, features 2 and 3) ---
+  std::uint64_t epoch_requests_sent() const { return epoch_reqs_sent_; }
+  std::uint64_t epoch_requests_received() const { return epoch_reqs_recvd_; }
+  void reset_epoch_window();
+
+ private:
+  struct TimedResponse {
+    Tick ready_tick;
+    PendingPacket packet;
+    bool operator>(const TimedResponse& other) const {
+      return ready_tick > other.ready_tick;
+    }
+  };
+
+  RouterId router_;
+  const Topology* topo_;
+  const NocConfig* config_;
+  std::vector<std::deque<PendingPacket>> queues_;  ///< One per local slot.
+  std::priority_queue<TimedResponse, std::vector<TimedResponse>,
+                      std::greater<TimedResponse>>
+      pending_responses_;
+  std::uint64_t epoch_reqs_sent_ = 0;
+  std::uint64_t epoch_reqs_recvd_ = 0;
+};
+
+}  // namespace dozz

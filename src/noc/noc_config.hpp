@@ -1,0 +1,58 @@
+// Tunable parameters of the NoC simulator and the power-management runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/time.hpp"
+#include "src/topology/topology.hpp"
+
+namespace dozz {
+
+/// Simulator configuration. Defaults follow the paper: 128-bit flits,
+/// epoch (window) of 500 cycles, T-Idle of 4 cycles.
+struct NocConfig {
+  // --- Router microarchitecture ---
+  int vcs_per_port = 2;          ///< Virtual channels per input port.
+  int buffer_depth_flits = 4;    ///< Buffer depth per VC, in flits.
+  int link_latency_cycles = 1;   ///< Link traversal, in upstream cycles.
+  /// Router pipeline depth: local cycles between a flit's arrival and its
+  /// eligibility for switch allocation (buffer write + route compute + VC
+  /// allocation stages). 1 models an aggressive two-stage router.
+  int pipeline_stages = 1;
+  RoutingAlgorithm routing = RoutingAlgorithm::kXY;  ///< Deterministic DOR.
+  /// Dateline VC classes: 1 for mesh/cmesh; 2 on a torus, where packets
+  /// move to the upper class after crossing a wraparound link (breaks the
+  /// intra-dimension channel cycle). vcs_per_port must be divisible.
+  int vc_classes = 1;
+
+  // --- Protocol ---
+  int request_size_flits = 1;    ///< Control packet (128-bit flit).
+  int response_size_flits = 5;   ///< Head + 64-byte payload.
+  bool auto_response = true;     ///< NI answers each request with a response.
+  double response_delay_ns = 20.0;  ///< Service latency before the response.
+
+  // --- Power management runtime ---
+  int t_idle_cycles = 4;           ///< Consecutive idle cycles before gating.
+  std::uint64_t epoch_cycles = 500;  ///< DVFS window, in baseline cycles.
+  /// How long a secure (wake-punch) mark pins a router on: T-Wakeup
+  /// (<= 18 cycles) plus a small margin. Shorter TTLs re-gate distant
+  /// routers under the feet of in-flight packets (the in-flight two-hop
+  /// punch then re-wakes them — "partially non-blocking"); longer TTLs
+  /// forfeit off time on busy paths.
+  Tick secure_ttl_ticks = 24 * kBaselinePeriodTicks;
+  bool lookahead_punch = true;     ///< Power Punch-style wake signals: on
+                                   ///< packet arrival at the NI the whole
+                                   ///< XY path is punched awake, and heads
+                                   ///< re-punch two hops ahead in flight.
+
+  // --- Instrumentation ---
+  bool collect_epoch_log = false;  ///< Record per-epoch per-router features.
+  bool collect_extended_log = false;  ///< Record the extended (41-feature)
+                                      ///< vectors as well.
+
+  /// Epoch length in ticks (epochs are measured on the baseline clock so
+  /// that all routers share window boundaries).
+  Tick epoch_ticks() const { return epoch_cycles * kBaselinePeriodTicks; }
+};
+
+}  // namespace dozz

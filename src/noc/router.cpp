@@ -1,0 +1,441 @@
+#include "src/noc/router.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+Router::Router(RouterId id, const Topology& topo, const NocConfig& config,
+               const SimoLdoRegulator& regulator, EnergyAccountant accountant,
+               VfMode initial_mode)
+    : id_(id), topo_(&topo), config_(&config), regulator_(&regulator),
+      mode_(initial_mode), accountant_(std::move(accountant)) {
+  DOZZ_REQUIRE(config.vc_classes >= 1 &&
+               config.vcs_per_port % config.vc_classes == 0);
+  const int ports = topo.ports_per_router();
+  inputs_.reserve(static_cast<std::size_t>(ports));
+  flit_in_.resize(static_cast<std::size_t>(ports));
+  credit_in_.resize(static_cast<std::size_t>(ports));
+  outputs_.resize(static_cast<std::size_t>(ports));
+  for (int p = 0; p < ports; ++p) {
+    inputs_.emplace_back(config.vcs_per_port, config.buffer_depth_flits);
+    auto& out = outputs_[static_cast<std::size_t>(p)];
+    out.credits.assign(static_cast<std::size_t>(config.vcs_per_port),
+                       config.buffer_depth_flits);
+    out.vc_busy.assign(static_cast<std::size_t>(config.vcs_per_port), 0);
+  }
+  for (int d = 0; d < kNumDirections; ++d) {
+    const auto nb = topo.neighbor(id, static_cast<Direction>(d));
+    neighbor_[static_cast<std::size_t>(d)] = nb.value_or(-1);
+  }
+  ep_port_occ_.assign(static_cast<std::size_t>(ports), 0);
+  ep_port_peak_.assign(static_cast<std::size_t>(ports), 0);
+  ep_port_arrivals_.assign(static_cast<std::size_t>(ports), 0);
+  ep_port_departures_.assign(static_cast<std::size_t>(ports), 0);
+  next_edge_ = period();
+}
+
+Tick Router::total_off_ticks(Tick now) const {
+  Tick total = accountant_.inactive_ticks();
+  if (state_ == RouterState::kInactive && now > last_account_)
+    total += now - last_account_;
+  return total;
+}
+
+FlitChannel& Router::flit_in(int port) {
+  DOZZ_REQUIRE(port >= 0 && port < num_ports());
+  return flit_in_[static_cast<std::size_t>(port)];
+}
+
+CreditChannel& Router::credit_in(int port) {
+  DOZZ_REQUIRE(port >= 0 && port < num_ports());
+  return credit_in_[static_cast<std::size_t>(port)];
+}
+
+void Router::account_until(Tick now) {
+  if (now <= last_account_) return;
+  const Tick duration = now - last_account_;
+  switch (state_) {
+    case RouterState::kInactive:
+      accountant_.add_state_time(PowerState::kInactive, mode_, duration);
+      break;
+    case RouterState::kWakeup:
+      accountant_.add_state_time(PowerState::kWakeup, mode_, duration);
+      break;
+    case RouterState::kActive:
+      accountant_.add_state_time(PowerState::kActive, mode_, duration);
+      active_mode_ticks_[static_cast<std::size_t>(mode_index(mode_))] +=
+          duration;
+      break;
+  }
+  last_account_ = now;
+}
+
+void Router::pre_step(Tick now) {
+  if (state_ == RouterState::kWakeup && now >= wake_done_) {
+    account_until(now);
+    state_ = RouterState::kActive;
+    idle_cycles_ = 0;
+  }
+  if (state_ != RouterState::kActive) return;
+  drain_credits(now);
+  drain_flits(now);
+}
+
+void Router::drain_credits(Tick now) {
+  for (int p = 0; p < num_ports(); ++p) {
+    auto& ch = credit_in_[static_cast<std::size_t>(p)];
+    while (ch.ready(now)) {
+      const TimedCredit c = ch.pop();
+      DOZZ_ASSERT(c.port == p);
+      auto& out = outputs_[static_cast<std::size_t>(p)];
+      DOZZ_ASSERT(c.vc >= 0 && c.vc < static_cast<int>(out.credits.size()));
+      ++out.credits[static_cast<std::size_t>(c.vc)];
+      DOZZ_ASSERT(out.credits[static_cast<std::size_t>(c.vc)] <=
+                  config_->buffer_depth_flits);
+    }
+  }
+}
+
+void Router::drain_flits(Tick now) {
+  for (int p = 0; p < num_ports(); ++p) {
+    auto& ch = flit_in_[static_cast<std::size_t>(p)];
+    while (ch.ready(now)) {
+      TimedFlit tf = ch.pop();
+      auto& vc = inputs_[static_cast<std::size_t>(p)].vc(tf.vc);
+      DOZZ_ASSERT(!vc.full());
+      tf.flit.eligible_tick =
+          now + static_cast<Tick>(config_->pipeline_stages) * period();
+      vc.push(tf.flit);
+      ++ep_port_arrivals_[static_cast<std::size_t>(p)];
+      --inbound_inflight_;
+      DOZZ_ASSERT(inbound_inflight_ >= 0);
+    }
+  }
+}
+
+int Router::compute_output_port(const Flit& flit) const {
+  if (flit.dst_router == id_)
+    return topo_->local_port(topo_->local_slot_of_core(flit.dst_core));
+  const auto dir = topo_->route(id_, flit.dst_router, config_->routing);
+  DOZZ_ASSERT(dir.has_value());
+  return static_cast<int>(*dir);
+}
+
+void Router::route_and_allocate(Tick now, RouterEnvironment& env) {
+  for (int p = 0; p < num_ports(); ++p) {
+    auto& port = inputs_[static_cast<std::size_t>(p)];
+    for (int v = 0; v < port.num_vcs(); ++v) {
+      auto& vc = port.vc(v);
+      if (vc.empty()) continue;
+      const Flit& front = vc.front();
+      if (!vc.allocated()) {
+        if (!front.is_head || now < front.eligible_tick) continue;
+        const int out_port = compute_output_port(front);
+        if (is_local_port(out_port)) {
+          vc.allocate(out_port, 0);
+        } else {
+          // VC allocation: claim a free downstream VC on the chosen
+          // output, restricted to the packet's dateline class on a torus.
+          // The class resets when the packet turns into a new dimension
+          // (X and Y channel sets are disjoint resources) and moves to the
+          // escape class on the wraparound (dateline) channel itself.
+          const int classes = std::max(1, config_->vc_classes);
+          int cls = 0;
+          if (classes > 1) {
+            const auto out_dir = static_cast<Direction>(out_port);
+            int base = 0;
+            if (!is_local_port(p) &&
+                same_dimension(static_cast<Direction>(p), out_dir))
+              base = front.vc_class;
+            cls = topo_->is_wrap_link(id_, out_dir) ? 1 : base;
+            if (cls >= classes) cls = classes - 1;
+          }
+          const int per_class = config_->vcs_per_port / classes;
+          auto& out = outputs_[static_cast<std::size_t>(out_port)];
+          int claimed = -1;
+          for (int ov = cls * per_class; ov < (cls + 1) * per_class; ++ov) {
+            if (!out.vc_busy[static_cast<std::size_t>(ov)]) {
+              claimed = ov;
+              break;
+            }
+          }
+          if (claimed < 0) continue;  // retry next cycle
+          out.vc_busy[static_cast<std::size_t>(claimed)] = 1;
+          vc.allocate(out_port, claimed);
+          // Power Punch: the moment a packet commits to an output, wake the
+          // router after the next one on its path (hides T-Wakeup).
+          if (config_->lookahead_punch) {
+            const RouterId ds = neighbor_[static_cast<std::size_t>(out_port)];
+            DOZZ_ASSERT(ds >= 0);
+            env.punch_ahead(ds, front.dst_router, now);
+          }
+        }
+      }
+      // Every buffered packet with a network output pins its downstream
+      // router on (the "not a downstream router" gating condition).
+      if (vc.allocated() && !is_local_port(vc.out_port())) {
+        const RouterId ds = neighbor_[static_cast<std::size_t>(vc.out_port())];
+        DOZZ_ASSERT(ds >= 0);
+        env.secure(ds, now);
+      }
+    }
+  }
+}
+
+void Router::switch_allocate(Tick now, RouterEnvironment& env) {
+  const int vcs = config_->vcs_per_port;
+  std::array<char, 16> in_port_used{};
+  DOZZ_ASSERT(num_ports() <= 16);
+
+  for (int out_port = 0; out_port < num_ports(); ++out_port) {
+    auto& out = outputs_[static_cast<std::size_t>(out_port)];
+    const bool local_out = is_local_port(out_port);
+    RouterId ds = -1;
+    if (!local_out) {
+      ds = neighbor_[static_cast<std::size_t>(out_port)];
+      if (ds < 0) continue;                         // mesh edge: no link
+      if (!env.downstream_can_accept(ds)) continue;  // gated or waking
+    }
+
+    // Round-robin over (input port, vc) requesters.
+    const int slots = num_ports() * vcs;
+    int granted = -1;
+    for (int step = 1; step <= slots; ++step) {
+      const int slot = (out.last_grant + step) % slots;
+      const int in_port = slot / vcs;
+      const int in_vc = slot % vcs;
+      if (in_port_used[static_cast<std::size_t>(in_port)]) continue;
+      auto& vc = inputs_[static_cast<std::size_t>(in_port)].vc(in_vc);
+      if (vc.empty() || !vc.allocated() || vc.out_port() != out_port) continue;
+      if (now < vc.front().eligible_tick) continue;
+      if (!local_out &&
+          out.credits[static_cast<std::size_t>(vc.out_vc())] <= 0)
+        continue;
+      granted = slot;
+      break;
+    }
+    if (granted < 0) continue;
+
+    out.last_grant = granted;
+    const int in_port = granted / vcs;
+    const int in_vc = granted % vcs;
+    in_port_used[static_cast<std::size_t>(in_port)] = 1;
+    auto& vc = inputs_[static_cast<std::size_t>(in_port)].vc(in_vc);
+    const int out_vc = vc.out_vc();
+    Flit flit = vc.pop();
+    if (flit.is_tail) {
+      if (!local_out) out.vc_busy[static_cast<std::size_t>(out_vc)] = 0;
+      vc.release();
+    }
+
+    // Credit back to the upstream router for the slot just freed.
+    if (!is_local_port(in_port)) {
+      const RouterId up = neighbor_[static_cast<std::size_t>(in_port)];
+      DOZZ_ASSERT(up >= 0);
+      env.send_credit(up, static_cast<int>(opposite(static_cast<Direction>(
+                              in_port))),
+                      in_vc, now + period());
+    }
+
+    // Crossbar + link traversal energy (Table V is per router+link hop).
+    accountant_.add_hop(mode_);
+    ++flit.hops;
+    ++ep_port_departures_[static_cast<std::size_t>(out_port)];
+
+    if (local_out) {
+      ++ep_ejected_;
+      env.eject(id_, flit, now);
+    } else {
+      // The flit now carries the class of the channel it traverses, so the
+      // downstream router allocates within the right dateline class.
+      if (config_->vc_classes > 1) {
+        flit.vc_class = static_cast<std::uint8_t>(
+            out_vc / (config_->vcs_per_port / config_->vc_classes));
+      }
+      --out.credits[static_cast<std::size_t>(out_vc)];
+      const Tick arrival =
+          now + static_cast<Tick>(config_->link_latency_cycles) * period();
+      const int ds_port = static_cast<int>(
+          opposite(static_cast<Direction>(out_port)));
+      env.deliver(ds, ds_port, out_vc, arrival, flit);
+    }
+  }
+}
+
+void Router::pipeline_step(Tick now, RouterEnvironment& env) {
+  if (state_ != RouterState::kActive || stalled(now)) return;
+  route_and_allocate(now, env);
+  switch_allocate(now, env);
+}
+
+void Router::post_step(Tick now, bool nic_backlog) {
+  if (state_ != RouterState::kActive) return;
+  bool idle = !nic_backlog && inbound_inflight_ == 0;
+  int occupancy = 0;
+  int capacity = 0;
+  for (std::size_t p = 0; p < inputs_.size(); ++p) {
+    const int occ = inputs_[p].total_occupancy();
+    occupancy += occ;
+    capacity += inputs_[p].total_capacity();
+    ep_port_occ_[p] += static_cast<std::uint64_t>(occ);
+    if (occ > ep_port_peak_[p]) ep_port_peak_[p] = occ;
+  }
+  ++ep_edges_;
+  if (occupancy > 0) idle = false;
+  idle_cycles_ = idle ? idle_cycles_ + 1 : 0;
+  if (idle) ++ep_idle_edges_;
+  epoch_occ_ += static_cast<std::uint64_t>(occupancy);
+  epoch_cap_ += static_cast<std::uint64_t>(capacity);
+  if (capacity > 0) {
+    const double util =
+        static_cast<double>(occupancy) / static_cast<double>(capacity);
+    // Smooth over ~16 cycles: the congestion signal is *sustained* buffer
+    // pressure, not a single-cycle blip from one passing packet train.
+    util_ema_ += (util - util_ema_) / 16.0;
+    if (util_ema_ > epoch_peak_ibu_) epoch_peak_ibu_ = util_ema_;
+    if (util > ep_raw_peak_ibu_) ep_raw_peak_ibu_ = util;
+  }
+  life_occ_ += static_cast<std::uint64_t>(occupancy);
+  life_cap_ += static_cast<std::uint64_t>(capacity);
+  (void)now;
+}
+
+void Router::advance_clock(Tick now) {
+  if (state_ == RouterState::kInactive) {
+    next_edge_ = kInfTick;
+    return;
+  }
+  if (state_ == RouterState::kWakeup) {
+    next_edge_ = wake_done_;
+    return;
+  }
+  next_edge_ = now + period();
+}
+
+bool Router::can_gate(Tick now) const {
+  if (state_ != RouterState::kActive || stalled(now)) return false;
+  if (idle_cycles_ < config_->t_idle_cycles) return false;
+  if (inbound_inflight_ != 0) return false;
+  if (secured(now)) return false;
+  for (const auto& port : inputs_)
+    if (!port.all_empty()) return false;
+  return true;
+}
+
+void Router::gate_off(Tick now) {
+  DOZZ_REQUIRE(state_ == RouterState::kActive);
+  account_until(now);
+  state_ = RouterState::kInactive;
+  off_since_ = now;
+  idle_cycles_ = 0;
+  ++gatings_;
+  next_edge_ = kInfTick;
+}
+
+void Router::request_wake(Tick now) {
+  if (state_ != RouterState::kInactive) return;
+  account_until(now);
+  if (now - off_since_ < regulator_->breakeven_ticks(mode_))
+    ++premature_wakeups_;
+  ++wakeups_;
+  state_ = RouterState::kWakeup;
+  wake_done_ = now + regulator_->wakeup_penalty_ticks(mode_);
+  next_edge_ = wake_done_;
+}
+
+bool Router::secured(Tick now) const {
+  return ever_secured_ && now - last_secured_ <= config_->secure_ttl_ticks;
+}
+
+void Router::set_active_mode(VfMode mode, Tick now) {
+  if (state_ == RouterState::kInactive) {
+    mode_ = mode;  // applied when the router wakes
+    return;
+  }
+  if (state_ == RouterState::kWakeup || mode == mode_) return;
+  account_until(now);
+  ++mode_switches_;
+  stall_until_ = now + regulator_->switch_penalty_ticks(mode);
+  mode_ = mode;
+  next_edge_ = now + period();
+}
+
+bool Router::local_vc_has_space(int port, int vc) const {
+  DOZZ_REQUIRE(is_local_port(port) && port < num_ports());
+  return !inputs_[static_cast<std::size_t>(port)].vc(vc).full();
+}
+
+void Router::accept_local(int port, int vc, Flit flit, Tick now) {
+  DOZZ_REQUIRE(is_local_port(port) && port < num_ports());
+  DOZZ_REQUIRE(state_ == RouterState::kActive);
+  auto& channel = inputs_[static_cast<std::size_t>(port)].vc(vc);
+  DOZZ_ASSERT(!channel.full());
+  flit.enter_tick = now;
+  flit.eligible_tick =
+      now + static_cast<Tick>(config_->pipeline_stages) * period();
+  ++ep_injected_;
+  ++ep_port_arrivals_[static_cast<std::size_t>(port)];
+  channel.push(flit);
+}
+
+double Router::epoch_ibu() const { return epoch_peak_ibu_; }
+
+double Router::epoch_mean_ibu() const {
+  return epoch_cap_ == 0 ? 0.0
+                         : static_cast<double>(epoch_occ_) /
+                               static_cast<double>(epoch_cap_);
+}
+
+void Router::reset_epoch_window() {
+  epoch_occ_ = 0;
+  epoch_cap_ = 0;
+  epoch_peak_ibu_ = 0.0;
+  std::fill(ep_port_occ_.begin(), ep_port_occ_.end(), 0);
+  std::fill(ep_port_peak_.begin(), ep_port_peak_.end(), 0);
+  std::fill(ep_port_arrivals_.begin(), ep_port_arrivals_.end(), 0);
+  std::fill(ep_port_departures_.begin(), ep_port_departures_.end(), 0);
+  ep_edges_ = 0;
+  ep_idle_edges_ = 0;
+  ep_injected_ = 0;
+  ep_ejected_ = 0;
+  ep_secures_ = 0;
+  ep_raw_peak_ibu_ = 0.0;
+}
+
+Router::EpochCounters Router::epoch_counters() const {
+  EpochCounters c;
+  const std::size_t ports = inputs_.size();
+  c.port_occ_mean.resize(ports);
+  c.port_occ_peak.resize(ports);
+  c.port_arrivals.resize(ports);
+  c.port_departures.resize(ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    c.port_occ_mean[p] =
+        ep_edges_ == 0 ? 0.0
+                       : static_cast<double>(ep_port_occ_[p]) /
+                             static_cast<double>(ep_edges_);
+    c.port_occ_peak[p] = static_cast<double>(ep_port_peak_[p]);
+    c.port_arrivals[p] = static_cast<double>(ep_port_arrivals_[p]);
+    c.port_departures[p] = static_cast<double>(ep_port_departures_[p]);
+  }
+  c.idle_fraction = ep_edges_ == 0
+                        ? 1.0
+                        : static_cast<double>(ep_idle_edges_) /
+                              static_cast<double>(ep_edges_);
+  c.edges = static_cast<double>(ep_edges_);
+  c.injected = static_cast<double>(ep_injected_);
+  c.ejected = static_cast<double>(ep_ejected_);
+  c.secures = static_cast<double>(ep_secures_);
+  c.raw_peak_ibu = ep_raw_peak_ibu_;
+  return c;
+}
+
+double Router::lifetime_ibu() const {
+  return life_cap_ == 0 ? 0.0
+                        : static_cast<double>(life_occ_) /
+                              static_cast<double>(life_cap_);
+}
+
+}  // namespace dozz

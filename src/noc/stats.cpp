@@ -1,0 +1,14 @@
+#include "src/noc/stats.hpp"
+
+namespace dozz {
+
+VfMode mode_for_utilization(double ibu) {
+  // Paper Fig. 3b thresholds on (predicted) input-buffer utilization.
+  if (ibu < 0.05) return VfMode::kV08;
+  if (ibu < 0.10) return VfMode::kV09;
+  if (ibu < 0.20) return VfMode::kV10;
+  if (ibu < 0.25) return VfMode::kV11;
+  return VfMode::kV12;
+}
+
+}  // namespace dozz

@@ -1,0 +1,105 @@
+#include "src/power/dsent_model.hpp"
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+DsentRouterModel::DsentRouterModel(RouterGeometry geometry,
+                                   TechnologyParams tech)
+    : geometry_(geometry), tech_(tech) {
+  DOZZ_REQUIRE(geometry.ports >= 2 && geometry.vcs_per_port >= 1);
+  DOZZ_REQUIRE(geometry.buffer_depth >= 1 && geometry.flit_bits >= 1);
+  DOZZ_REQUIRE(geometry.link_mm > 0.0 && geometry.num_links >= 0);
+}
+
+double DsentRouterModel::buffer_write_energy_j(double v) const {
+  return tech_.cap_buffer_bit_f * geometry_.flit_bits * v * v;
+}
+
+double DsentRouterModel::buffer_read_energy_j(double v) const {
+  // Reads switch roughly half the write capacitance (no cell flip).
+  return 0.5 * buffer_write_energy_j(v);
+}
+
+double DsentRouterModel::crossbar_energy_j(double v) const {
+  return tech_.cap_xbar_bit_per_port_f * geometry_.ports *
+         geometry_.flit_bits * v * v;
+}
+
+double DsentRouterModel::allocator_energy_j(double v) const {
+  return tech_.allocator_fraction * buffer_write_energy_j(v);
+}
+
+double DsentRouterModel::link_energy_j(double v) const {
+  return tech_.cap_wire_bit_mm_f * geometry_.flit_bits * geometry_.link_mm *
+         v * v;
+}
+
+double DsentRouterModel::hop_energy_j(double v) const {
+  return buffer_write_energy_j(v) + buffer_read_energy_j(v) +
+         crossbar_energy_j(v) + allocator_energy_j(v) + link_energy_j(v);
+}
+
+double DsentRouterModel::switched_capacitance_f(/*per hop*/) const {
+  return hop_energy_j(1.0);  // E = C V^2, so C == E at V = 1.
+}
+
+double DsentRouterModel::buffer_leakage_w(double v) const {
+  const double cells = static_cast<double>(geometry_.ports) *
+                       geometry_.vcs_per_port * geometry_.buffer_depth *
+                       geometry_.flit_bits;
+  return tech_.leak_buffer_bit_a * cells * v;
+}
+
+double DsentRouterModel::logic_leakage_w(double v) const {
+  return tech_.leak_port_a * geometry_.ports * v;
+}
+
+double DsentRouterModel::link_leakage_w(double v) const {
+  return tech_.leak_wire_bit_mm_a * geometry_.flit_bits * geometry_.link_mm *
+         geometry_.num_links * v;
+}
+
+double DsentRouterModel::static_power_w(double v) const {
+  return buffer_leakage_w(v) + logic_leakage_w(v) + link_leakage_w(v);
+}
+
+double DsentRouterModel::leakage_current_a() const {
+  return static_power_w(1.0);  // P = I V, so I == P at V = 1.
+}
+
+ModePowerCost DsentRouterModel::cost(VfMode mode) const {
+  const double v = vf_point(mode).voltage_v;
+  ModePowerCost c;
+  c.static_power_w = static_power_w(v);
+  c.static_power_rel = v / vf_point(kTopMode).voltage_v;
+  c.dynamic_energy_pj = hop_energy_j(v) * 1e12;
+  return c;
+}
+
+PowerModel DsentRouterModel::to_power_model() const {
+  std::array<ModePowerCost, kNumVfModes> costs;
+  for (int m = 0; m < kNumVfModes; ++m)
+    costs[static_cast<std::size_t>(m)] = cost(mode_from_index(m));
+  return PowerModel(costs);
+}
+
+DynamicBreakdown dynamic_breakdown(
+    const DsentRouterModel& model,
+    const std::array<std::uint64_t, kNumVfModes>& hops_per_mode) {
+  DynamicBreakdown b;
+  for (int m = 0; m < kNumVfModes; ++m) {
+    const auto hops =
+        static_cast<double>(hops_per_mode[static_cast<std::size_t>(m)]);
+    if (hops == 0.0) continue;
+    const double v = vf_point(mode_from_index(m)).voltage_v;
+    b.buffer_write_j += hops * model.buffer_write_energy_j(v);
+    b.buffer_read_j += hops * model.buffer_read_energy_j(v);
+    b.crossbar_j += hops * model.crossbar_energy_j(v);
+    b.allocator_j += hops * model.allocator_energy_j(v);
+    b.link_j += hops * model.link_energy_j(v);
+  }
+  return b;
+}
+
+}  // namespace dozz

@@ -1,0 +1,115 @@
+// Analytical router + link power model in the style of DSENT (the paper's
+// power source, reference [36]): per-component switching capacitances and
+// leakage currents, evaluated at arbitrary voltage/frequency points and
+// router geometries.
+//
+// Table V itself pins down the physics: its dynamic column scales exactly
+// as V^2 (25.1 pJ at 0.8 V = 56.5 pJ * (0.8/1.2)^2) and its static column
+// exactly as V (0.036 = 0.054 * 0.8/1.2), i.e. a fixed total switched
+// capacitance and a fixed total leakage current. This model decomposes
+// those totals over buffers, crossbar, allocators and links following
+// DSENT's breakdown, so that changing the router geometry (ports, VCs,
+// buffer depth, flit width, link length) rescales power credibly — which
+// the microarchitecture ablation bench uses.
+#pragma once
+
+#include "src/power/power_model.hpp"
+#include "src/regulator/vf_mode.hpp"
+
+namespace dozz {
+
+/// 22 nm-class technology constants (calibrated to reproduce Table V for
+/// the paper's reference geometry).
+struct TechnologyParams {
+  /// Switched capacitance per buffer bit write access, F (reads switch
+  /// half of it). Effective value: includes wordlines, clocking and
+  /// control amortized per bit.
+  double cap_buffer_bit_f = 9.2e-14;
+  /// Switched capacitance per bit through the crossbar, per port, F.
+  double cap_xbar_bit_per_port_f = 1.23e-14;
+  /// Switched capacitance per bit per millimetre of link, F.
+  double cap_wire_bit_mm_f = 1.01e-13;
+  /// Allocator/arbiter energy per flit as a fraction of the buffer write
+  /// energy.
+  double allocator_fraction = 0.0665;
+  /// Leakage current per buffer bit-cell, A (~45% of router leakage at
+  /// the reference geometry, as in DSENT breakdowns).
+  double leak_buffer_bit_a = 4.0e-6;
+  /// Leakage current of crossbar+allocator+clock per port, A.
+  double leak_port_a = 4.5e-3;
+  /// Leakage current per bit per millimetre of link driver, A.
+  double leak_wire_bit_mm_a = 3.9e-6;
+};
+
+/// Router geometry the model is evaluated for.
+struct RouterGeometry {
+  int ports = 5;           ///< 8x8 mesh router.
+  int vcs_per_port = 2;
+  int buffer_depth = 4;    ///< Flits per VC.
+  int flit_bits = 128;
+  double link_mm = 1.0;    ///< Outgoing link length.
+  int num_links = 4;       ///< Outgoing mesh links per router.
+};
+
+/// Analytical per-router power model.
+class DsentRouterModel {
+ public:
+  explicit DsentRouterModel(RouterGeometry geometry = {},
+                            TechnologyParams tech = {});
+
+  const RouterGeometry& geometry() const { return geometry_; }
+
+  // --- Dynamic energy per flit at supply voltage v (joules) ---
+  double buffer_write_energy_j(double v) const;
+  double buffer_read_energy_j(double v) const;
+  double crossbar_energy_j(double v) const;
+  double allocator_energy_j(double v) const;
+  double link_energy_j(double v) const;
+  /// Total per-hop energy: write + read + crossbar + allocation + link.
+  double hop_energy_j(double v) const;
+
+  // --- Static power at supply voltage v (watts) ---
+  double buffer_leakage_w(double v) const;
+  double logic_leakage_w(double v) const;
+  double link_leakage_w(double v) const;
+  double static_power_w(double v) const;
+
+  /// Total leakage current (A), independent of voltage in this model.
+  double leakage_current_a() const;
+
+  /// Total switched capacitance per hop (F).
+  double switched_capacitance_f() const;
+
+  /// Evaluates the model at a DVFS operating point.
+  ModePowerCost cost(VfMode mode) const;
+
+  /// A Table-V-compatible PowerModel built from this geometry, usable by
+  /// the network simulator.
+  PowerModel to_power_model() const;
+
+ private:
+  RouterGeometry geometry_;
+  TechnologyParams tech_;
+};
+
+/// Per-component dynamic energy of a run, derived from a router's
+/// per-mode hop tallies (EnergyAccountant::hops_per_mode()).
+struct DynamicBreakdown {
+  double buffer_write_j = 0.0;
+  double buffer_read_j = 0.0;
+  double crossbar_j = 0.0;
+  double allocator_j = 0.0;
+  double link_j = 0.0;
+
+  double total_j() const {
+    return buffer_write_j + buffer_read_j + crossbar_j + allocator_j +
+           link_j;
+  }
+};
+
+/// Decomposes dynamic energy over components given hop counts per mode.
+DynamicBreakdown dynamic_breakdown(
+    const DsentRouterModel& model,
+    const std::array<std::uint64_t, kNumVfModes>& hops_per_mode);
+
+}  // namespace dozz

@@ -1,0 +1,75 @@
+#include "src/power/energy_accountant.hpp"
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+EnergyAccountant::EnergyAccountant(const PowerModel& power,
+                                   const SimoLdoRegulator& regulator,
+                                   const MlOverheadModel& ml_overhead)
+    : power_(&power), regulator_(&regulator), ml_overhead_(&ml_overhead) {}
+
+void EnergyAccountant::add_state_time(PowerState state, VfMode mode,
+                                      Tick duration) {
+  if (duration == 0) return;
+  const double seconds = seconds_from_ticks(duration);
+  switch (state) {
+    case PowerState::kInactive:
+      inactive_ticks_ += duration;
+      return;  // Gated: supply at ground, no leakage.
+    case PowerState::kWakeup:
+      wakeup_ticks_ += duration;
+      break;
+    case PowerState::kActive:
+      active_ticks_ += duration;
+      break;
+  }
+  const double joules = power_->static_power_w(mode) * seconds;
+  static_j_ += joules;
+  wall_static_j_ += joules / regulator_->simo_efficiency(mode);
+}
+
+void EnergyAccountant::add_hop(VfMode mode) {
+  ++hops_;
+  ++hops_per_mode_[static_cast<std::size_t>(mode_index(mode))];
+  const double joules = power_->hop_energy_j(mode);
+  dynamic_j_ += joules;
+  wall_dynamic_j_ += joules / regulator_->simo_efficiency(mode);
+}
+
+void EnergyAccountant::add_label() {
+  ++labels_;
+  ml_j_ += ml_overhead_->label_energy_j();
+}
+
+double EnergyAccountant::off_fraction() const {
+  const Tick total = accounted_ticks();
+  return total == 0 ? 0.0
+                    : static_cast<double>(inactive_ticks_) /
+                          static_cast<double>(total);
+}
+
+void EnergyAccountant::merge(const EnergyAccountant& other) {
+  static_j_ += other.static_j_;
+  dynamic_j_ += other.dynamic_j_;
+  ml_j_ += other.ml_j_;
+  wall_static_j_ += other.wall_static_j_;
+  wall_dynamic_j_ += other.wall_dynamic_j_;
+  hops_ += other.hops_;
+  for (std::size_t m = 0; m < hops_per_mode_.size(); ++m)
+    hops_per_mode_[m] += other.hops_per_mode_[m];
+  labels_ += other.labels_;
+  active_ticks_ += other.active_ticks_;
+  wakeup_ticks_ += other.wakeup_ticks_;
+  inactive_ticks_ += other.inactive_ticks_;
+}
+
+void EnergyAccountant::reset() {
+  static_j_ = dynamic_j_ = ml_j_ = 0.0;
+  wall_static_j_ = wall_dynamic_j_ = 0.0;
+  hops_ = labels_ = 0;
+  hops_per_mode_.fill(0);
+  active_ticks_ = wakeup_ticks_ = inactive_ticks_ = 0;
+}
+
+}  // namespace dozz

@@ -1,0 +1,89 @@
+// Per-router energy bookkeeping: static energy integrated over time and
+// operating state, dynamic energy per flit hop, and ML label overhead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/time.hpp"
+#include "src/power/power_model.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/regulator/vf_mode.hpp"
+
+namespace dozz {
+
+/// Coarse operating state of a router for energy purposes.
+enum class PowerState : std::uint8_t {
+  kInactive = 0,  ///< Power-gated: no static power.
+  kWakeup = 1,    ///< Charging up: full static power of the target mode.
+  kActive = 2,    ///< Operating: static power of the current mode.
+};
+
+/// Accumulated energy for one router (and its outgoing links).
+class EnergyAccountant {
+ public:
+  EnergyAccountant(const PowerModel& power, const SimoLdoRegulator& regulator,
+                   const MlOverheadModel& ml_overhead);
+
+  /// Integrates static energy for `duration` ticks spent in `state` at
+  /// `mode` (the target mode during wakeup; ignored when inactive).
+  void add_state_time(PowerState state, VfMode mode, Tick duration);
+
+  /// Charges one flit hop (router traversal + outgoing link) at `mode`.
+  void add_hop(VfMode mode);
+
+  /// Charges one ML label computation.
+  void add_label();
+
+  // --- Energy drawn by the router itself ---
+  double static_energy_j() const { return static_j_; }
+  double dynamic_energy_j() const { return dynamic_j_; }
+  double ml_energy_j() const { return ml_j_; }
+  double total_energy_j() const { return static_j_ + dynamic_j_ + ml_j_; }
+
+  // --- Energy drawn from the regulator input ("wall"), i.e. divided by the
+  //     SIMO/LDO chain efficiency at the mode in effect ---
+  double wall_static_energy_j() const { return wall_static_j_; }
+  double wall_dynamic_energy_j() const { return wall_dynamic_j_; }
+  double wall_total_energy_j() const {
+    return wall_static_j_ + wall_dynamic_j_ + ml_j_;
+  }
+
+  std::uint64_t hops() const { return hops_; }
+  /// Hop tally per V/F mode (feeds per-component energy breakdowns).
+  const std::array<std::uint64_t, kNumVfModes>& hops_per_mode() const {
+    return hops_per_mode_;
+  }
+  std::uint64_t labels() const { return labels_; }
+  Tick active_ticks() const { return active_ticks_; }
+  Tick wakeup_ticks() const { return wakeup_ticks_; }
+  Tick inactive_ticks() const { return inactive_ticks_; }
+  Tick accounted_ticks() const {
+    return active_ticks_ + wakeup_ticks_ + inactive_ticks_;
+  }
+
+  /// Fraction of accounted time spent power-gated.
+  double off_fraction() const;
+
+  void merge(const EnergyAccountant& other);
+  void reset();
+
+ private:
+  const PowerModel* power_;
+  const SimoLdoRegulator* regulator_;
+  const MlOverheadModel* ml_overhead_;
+
+  double static_j_ = 0.0;
+  double dynamic_j_ = 0.0;
+  double ml_j_ = 0.0;
+  double wall_static_j_ = 0.0;
+  double wall_dynamic_j_ = 0.0;
+  std::uint64_t hops_ = 0;
+  std::array<std::uint64_t, kNumVfModes> hops_per_mode_{};
+  std::uint64_t labels_ = 0;
+  Tick active_ticks_ = 0;
+  Tick wakeup_ticks_ = 0;
+  Tick inactive_ticks_ = 0;
+};
+
+}  // namespace dozz

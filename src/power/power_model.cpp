@@ -1,0 +1,46 @@
+#include "src/power/power_model.hpp"
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+PowerModel::PowerModel() {
+  // Table V verbatim.
+  costs_ = {{
+      {0.036, 0.667, 25.1},  // 0.8V / 1.00 GHz
+      {0.041, 0.750, 31.8},  // 0.9V / 1.50 GHz
+      {0.045, 0.833, 39.2},  // 1.0V / 1.80 GHz
+      {0.050, 0.917, 47.5},  // 1.1V / 2.00 GHz
+      {0.054, 1.000, 56.5},  // 1.2V / 2.25 GHz
+  }};
+}
+
+const ModePowerCost& PowerModel::cost(VfMode mode) const {
+  return costs_[static_cast<std::size_t>(mode_index(mode))];
+}
+
+namespace {
+constexpr double kAddEnergyPj = 0.4;
+constexpr double kMulEnergyPj = 1.1;
+constexpr double kAddAreaUm2 = 1360.0;
+constexpr double kMulAreaUm2 = 1640.0;
+}  // namespace
+
+MlOverheadModel::MlOverheadModel(int num_features)
+    : num_features_(num_features) {
+  DOZZ_REQUIRE(num_features >= 1);
+}
+
+double MlOverheadModel::label_energy_j() const {
+  const double pj = static_cast<double>(multiplies_per_label()) * kMulEnergyPj +
+                    static_cast<double>(adds_per_label()) * kAddEnergyPj;
+  return pj * 1e-12;
+}
+
+double MlOverheadModel::area_mm2() const {
+  const double um2 = static_cast<double>(multiplies_per_label()) * kMulAreaUm2 +
+                     static_cast<double>(adds_per_label()) * kAddAreaUm2;
+  return um2 * 1e-6;
+}
+
+}  // namespace dozz

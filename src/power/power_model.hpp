@@ -1,0 +1,70 @@
+// DSENT-derived router + link power model (paper Table V, 22 nm, 128-bit
+// flits, concentrated-mesh worst case).
+#pragma once
+
+#include <array>
+
+#include "src/regulator/vf_mode.hpp"
+
+namespace dozz {
+
+/// Power/energy cost of one router and its outgoing links at one V/F mode.
+struct ModePowerCost {
+  double static_power_w;        ///< Leakage power in watts (J/s).
+  double static_power_rel;      ///< Table V "Static Power (Cycle)" column:
+                                ///< the supply voltage relative to the top
+                                ///< mode (V / 1.2 V).
+  double dynamic_energy_pj;     ///< Energy to hop a flit across router+link.
+};
+
+/// Table V lookup: per-mode static power and per-hop dynamic energy.
+class PowerModel {
+ public:
+  /// The paper's Table V values (22 nm, 128-bit flits, cmesh worst case).
+  PowerModel();
+
+  /// Custom per-mode costs, e.g. produced by the analytical
+  /// DsentRouterModel for a different router geometry.
+  explicit PowerModel(const std::array<ModePowerCost, kNumVfModes>& costs)
+      : costs_(costs) {}
+
+  const ModePowerCost& cost(VfMode mode) const;
+
+  /// Static power in watts when active at `mode`.
+  double static_power_w(VfMode mode) const { return cost(mode).static_power_w; }
+
+  /// Dynamic energy in joules for one flit hop at `mode`.
+  double hop_energy_j(VfMode mode) const {
+    return cost(mode).dynamic_energy_pj * 1e-12;
+  }
+
+ private:
+  std::array<ModePowerCost, kNumVfModes> costs_;
+};
+
+/// Runtime overhead of computing one ML label (paper §III-D, costs from
+/// Horowitz ISSCC'14: 16-bit float add 0.4 pJ / 1360 um^2, multiply
+/// 1.1 pJ / 1640 um^2).
+class MlOverheadModel {
+ public:
+  /// `num_features` includes the all-ones bias feature.
+  explicit MlOverheadModel(int num_features);
+
+  int num_features() const { return num_features_; }
+  int multiplies_per_label() const { return num_features_; }
+  int adds_per_label() const { return num_features_ - 1; }
+
+  /// Energy to compute one label, in joules (7.1 pJ for 5 features).
+  double label_energy_j() const;
+
+  /// Area of the multiply/add datapath in mm^2 (0.013 mm^2 for 5 features).
+  double area_mm2() const;
+
+  /// Latency to compute a label, in router cycles (paper: 3-4).
+  int label_latency_cycles() const { return 4; }
+
+ private:
+  int num_features_;
+};
+
+}  // namespace dozz

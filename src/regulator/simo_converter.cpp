@@ -1,0 +1,98 @@
+#include "src/regulator/simo_converter.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+namespace {
+constexpr std::array<double, 3> kRailVoltages = {0.9, 1.1, 1.2};
+
+std::size_t rail_slot(Rail rail) {
+  switch (rail) {
+    case Rail::kRail09: return 0;
+    case Rail::kRail11: return 1;
+    case Rail::kRail12: return 2;
+    case Rail::kGround: break;
+  }
+  DOZZ_ASSERT(false);
+}
+}  // namespace
+
+SimoConverter::SimoConverter(ConverterParams params) : params_(params) {
+  DOZZ_REQUIRE(params_.v_battery > kRailVoltages[2]);
+  DOZZ_REQUIRE(params_.inductance_h > 0.0 && params_.switching_hz > 0.0);
+  DOZZ_REQUIRE(params_.series_resistance >= 0.0);
+}
+
+ConverterOperatingPoint SimoConverter::solve(const RailLoads& loads) const {
+  DOZZ_REQUIRE(loads.i09 >= 0.0 && loads.i11 >= 0.0 && loads.i12 >= 0.0);
+  ConverterOperatingPoint op;
+  const std::array<double, 3> currents = {loads.i09, loads.i11, loads.i12};
+  const double l_fsw = params_.inductance_h * params_.switching_hz;
+
+  int active_rails = 0;
+  for (std::size_t k = 0; k < 3; ++k) {
+    const double p_out = kRailVoltages[k] * currents[k];
+    op.output_power_w += p_out;
+    if (p_out <= 0.0) continue;
+    ++active_rails;
+    // DCM energy balance: one inductor pulse per rail per period delivers
+    // E = 1/2 * L * Ipk^2, so Ipk = sqrt(2 P / (L * fsw)).
+    const double ipk = std::sqrt(2.0 * p_out / l_fsw);
+    op.peak_current_a[k] = ipk;
+    // Energize from the battery, then discharge into the rail.
+    const double t_energize = params_.inductance_h * ipk / params_.v_battery;
+    const double t_discharge =
+        params_.inductance_h * ipk / kRailVoltages[k];
+    op.slot_fraction[k] = (t_energize + t_discharge) * params_.switching_hz;
+    // Triangular current with peak Ipk flowing for slot_fraction of the
+    // period: I_rms^2 = Ipk^2 / 3 * slot_fraction.
+    op.conduction_loss_w +=
+        ipk * ipk / 3.0 * op.slot_fraction[k] * params_.series_resistance;
+  }
+  op.total_slot_fraction =
+      op.slot_fraction[0] + op.slot_fraction[1] + op.slot_fraction[2];
+  op.feasible = op.total_slot_fraction <= 1.0;
+  op.switching_loss_w = params_.controller_quiescent_w +
+                        active_rails * params_.switch_loss_w_per_rail;
+
+  const double total_in =
+      op.output_power_w + op.conduction_loss_w + op.switching_loss_w;
+  op.efficiency = (op.feasible && total_in > 0.0 && op.output_power_w > 0.0)
+                      ? op.output_power_w / total_in
+                      : 0.0;
+  return op;
+}
+
+double SimoConverter::efficiency(const RailLoads& loads) const {
+  return solve(loads).efficiency;
+}
+
+double SimoConverter::max_power_w(double rail_voltage) const {
+  DOZZ_REQUIRE(rail_voltage > 0.0 && rail_voltage < params_.v_battery);
+  const double l_fsw = params_.inductance_h * params_.switching_hz;
+  // slot = L * fsw * Ipk * (1/Vbat + 1/Vout) <= 1.
+  const double ipk_max =
+      1.0 / (l_fsw * (1.0 / params_.v_battery + 1.0 / rail_voltage));
+  return 0.5 * l_fsw * ipk_max * ipk_max;
+}
+
+RailLoads SimoConverter::loads_for(
+    const std::array<double, kNumVfModes>& watts_per_mode,
+    const SimoLdoRegulator& regulator) const {
+  RailLoads loads;
+  std::array<double*, 3> rail_current = {&loads.i09, &loads.i11, &loads.i12};
+  for (int m = 0; m < kNumVfModes; ++m) {
+    const double watts = watts_per_mode[static_cast<std::size_t>(m)];
+    if (watts <= 0.0) continue;
+    const double vout = vf_point(mode_from_index(m)).voltage_v;
+    // An LDO's input current equals its output current: a router drawing
+    // P watts at Vout pulls P/Vout amperes from its rail.
+    *rail_current[rail_slot(regulator.rail_for(vout))] += watts / vout;
+  }
+  return loads;
+}
+
+}  // namespace dozz

@@ -1,0 +1,84 @@
+// Circuit-level model of the single-inductor multiple-output (SIMO)
+// switching converter feeding the per-router LDOs (paper Fig. 4b, based on
+// the time-multiplexed DCM design of Ma et al., JSSC'03 — the paper's
+// reference [31]).
+//
+// One inductor serves the three rails (0.9 V, 1.1 V, 1.2 V) in rotation:
+// each switching period is divided into per-rail slots; within a slot the
+// inductor is energized from the battery and then discharged into that
+// rail (discontinuous conduction). The model solves for per-rail peak
+// currents and slot times given the rail load currents, applies conduction,
+// switching and controller losses, and reports the converter's efficiency —
+// which now depends on *load*, complementing the voltage-dependent LDO
+// model in simo_ldo.hpp.
+#pragma once
+
+#include <array>
+
+#include "src/regulator/simo_ldo.hpp"
+
+namespace dozz {
+
+/// Load current drawn from each SIMO rail, in amperes.
+struct RailLoads {
+  double i09 = 0.0;  ///< 0.9 V rail.
+  double i11 = 0.0;  ///< 1.1 V rail.
+  double i12 = 0.0;  ///< 1.2 V rail.
+
+  double total_power_w() const { return 0.9 * i09 + 1.1 * i11 + 1.2 * i12; }
+};
+
+/// Physical parameters of the converter.
+struct ConverterParams {
+  double v_battery = 3.0;     ///< Input voltage (paper Fig. 5 shows 3 V).
+  double inductance_h = 4e-9;    ///< Package-integrated air-core inductor.
+  double switching_hz = 5.0e6;
+  double series_resistance = 1.5e-3;  ///< Inductor DCR + switch
+                                      ///< on-resistance (multiphase-
+                                      ///< equivalent).
+  double switch_loss_w_per_rail = 5e-3;  ///< Gate-charge loss per active rail.
+  double controller_quiescent_w = 2e-3;
+};
+
+/// Steady-state operating point for a given load.
+struct ConverterOperatingPoint {
+  std::array<double, 3> peak_current_a{};  ///< Per rail (0.9/1.1/1.2 V).
+  std::array<double, 3> slot_fraction{};   ///< Fraction of the period used.
+  double total_slot_fraction = 0.0;  ///< Must be <= 1 (feasible schedule).
+  double conduction_loss_w = 0.0;
+  double switching_loss_w = 0.0;
+  double output_power_w = 0.0;
+  double efficiency = 0.0;
+  bool feasible = true;  ///< False when the load exceeds capacity.
+};
+
+/// Time-multiplexed DCM SIMO converter.
+class SimoConverter {
+ public:
+  explicit SimoConverter(ConverterParams params = {});
+
+  const ConverterParams& params() const { return params_; }
+
+  /// Solves the DCM operating point for the given rail loads.
+  ConverterOperatingPoint solve(const RailLoads& loads) const;
+
+  /// Converter efficiency at the given load (0 when infeasible or idle).
+  double efficiency(const RailLoads& loads) const;
+
+  /// Maximum total output power at which the time-multiplexed schedule
+  /// still fits in one switching period (all load on `rail_voltage`).
+  double max_power_w(double rail_voltage) const;
+
+  /// Derives rail loads from a network operating point: `watts_per_mode`
+  /// is the total router power (static + dynamic) currently drawn at each
+  /// V/F mode (gated routers contribute zero). An LDO's input current
+  /// equals its output current, so each mode's load appears on its selected
+  /// rail as watts / Vout amperes.
+  RailLoads loads_for(const std::array<double, kNumVfModes>& watts_per_mode,
+                      const SimoLdoRegulator& regulator) const;
+
+ private:
+  ConverterParams params_;
+};
+
+}  // namespace dozz

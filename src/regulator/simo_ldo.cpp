@@ -1,0 +1,134 @@
+#include "src/regulator/simo_ldo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+namespace {
+// Switching-converter efficiency of the SIMO stage. With the LDO dropout
+// capped at 100 mV (Table I) this keeps the end-to-end chain above 87%
+// across the whole 0.8-1.2 V range, matching Fig. 6.
+constexpr double kSimoStageEfficiency = 0.98;
+
+// Quiescent-current loss of a bare LDO (baseline design).
+constexpr double kLdoQuiescentEfficiency = 0.995;
+
+constexpr double kFixedBaselineRailV = 1.2;
+}  // namespace
+
+SimoLdoRegulator::SimoLdoRegulator() {
+  // Table II, rows = from, cols = to; index 0 is the power-gated state.
+  // (The paper's "4.3s" / "6 3ns" / "5 4ns" cells are the obvious typos for
+  // 4.3 / 6.3 / 5.4 ns.)
+  latency_ns_ = {{
+      //  PG    0.8V  0.9V  1.0V  1.1V  1.2V
+      {{0.0, 8.5, 8.7, 8.7, 8.7, 8.8}},  // from PG
+      {{8.5, 0.0, 4.2, 5.5, 6.2, 6.7}},  // from 0.8V
+      {{8.7, 4.2, 0.0, 4.4, 5.5, 6.3}},  // from 0.9V
+      {{8.7, 5.5, 4.4, 0.0, 4.3, 5.5}},  // from 1.0V
+      {{8.7, 6.3, 5.4, 4.3, 0.0, 4.3}},  // from 1.1V
+      {{8.8, 6.9, 6.3, 5.4, 4.1, 0.0}},  // from 1.2V
+  }};
+
+  // Table III. T-Switch/T-Wakeup apply the worst-case analog latency
+  // converted at each mode's own clock; T-Breakeven is 12 cycles at the
+  // top mode and proportionally less below (paper §III-C).
+  cycle_costs_ = {{
+      {7, 9, 8},     // 0.8V / 1.00 GHz
+      {11, 12, 9},   // 0.9V / 1.50 GHz
+      {13, 15, 10},  // 1.0V / 1.80 GHz
+      {14, 16, 11},  // 1.1V / 2.00 GHz
+      {16, 18, 12},  // 1.2V / 2.25 GHz
+  }};
+}
+
+double SimoLdoRegulator::switch_latency_ns(VfMode from, VfMode to) const {
+  return latency_ns_[static_cast<std::size_t>(mode_index(from) + 1)]
+                    [static_cast<std::size_t>(mode_index(to) + 1)];
+}
+
+double SimoLdoRegulator::wakeup_latency_ns(VfMode to) const {
+  return latency_ns_[0][static_cast<std::size_t>(mode_index(to) + 1)];
+}
+
+double SimoLdoRegulator::gate_latency_ns(VfMode /*from*/) const { return 0.0; }
+
+double SimoLdoRegulator::worst_switch_latency_ns() const {
+  double worst = 0.0;
+  for (VfMode a : all_vf_modes())
+    for (VfMode b : all_vf_modes())
+      worst = std::max(worst, switch_latency_ns(a, b));
+  return worst;
+}
+
+double SimoLdoRegulator::worst_wakeup_latency_ns() const {
+  double worst = 0.0;
+  for (VfMode m : all_vf_modes())
+    worst = std::max(worst, wakeup_latency_ns(m));
+  return worst;
+}
+
+const ModeCycleCosts& SimoLdoRegulator::cycle_costs(VfMode mode) const {
+  return cycle_costs_[static_cast<std::size_t>(mode_index(mode))];
+}
+
+Tick SimoLdoRegulator::switch_penalty_ticks(VfMode to) const {
+  return static_cast<Tick>(cycle_costs(to).t_switch_cycles) *
+         vf_point(to).period_ticks;
+}
+
+Tick SimoLdoRegulator::wakeup_penalty_ticks(VfMode to) const {
+  return static_cast<Tick>(cycle_costs(to).t_wakeup_cycles) *
+         vf_point(to).period_ticks;
+}
+
+Tick SimoLdoRegulator::breakeven_ticks(VfMode to) const {
+  return static_cast<Tick>(cycle_costs(to).t_breakeven_cycles) *
+         vf_point(to).period_ticks;
+}
+
+Rail SimoLdoRegulator::rail_for(double vout_v) const {
+  DOZZ_REQUIRE(vout_v >= 0.0 && vout_v <= 1.2 + 1e-9);
+  if (vout_v <= 0.0) return Rail::kGround;
+  if (vout_v <= 0.9 + 1e-9) return Rail::kRail09;
+  if (vout_v <= 1.1 + 1e-9) return Rail::kRail11;
+  return Rail::kRail12;
+}
+
+double SimoLdoRegulator::rail_voltage(Rail rail) const {
+  switch (rail) {
+    case Rail::kGround: return 0.0;
+    case Rail::kRail09: return 0.9;
+    case Rail::kRail11: return 1.1;
+    case Rail::kRail12: return 1.2;
+  }
+  DOZZ_ASSERT(false);
+}
+
+double SimoLdoRegulator::dropout_v(double vout_v) const {
+  const Rail rail = rail_for(vout_v);
+  if (rail == Rail::kGround) return 0.0;
+  return std::max(0.0, rail_voltage(rail) - vout_v);
+}
+
+double SimoLdoRegulator::simo_efficiency(double vout_v) const {
+  DOZZ_REQUIRE(vout_v > 0.0 && vout_v <= 1.2 + 1e-9);
+  const double vin = rail_voltage(rail_for(vout_v));
+  // LDO efficiency is Vout/Vin; the SIMO switching stage multiplies in its
+  // own conversion efficiency.
+  return kSimoStageEfficiency * vout_v / vin;
+}
+
+double SimoLdoRegulator::baseline_efficiency(double vout_v) const {
+  DOZZ_REQUIRE(vout_v > 0.0 && vout_v <= 1.2 + 1e-9);
+  return kLdoQuiescentEfficiency * vout_v / kFixedBaselineRailV;
+}
+
+double SimoLdoRegulator::simo_efficiency(VfMode mode) const {
+  return simo_efficiency(vf_point(mode).voltage_v);
+}
+
+}  // namespace dozz

@@ -1,0 +1,114 @@
+// SIMO + LDO voltage-regulator model (paper §III-C).
+//
+// Each router and its outgoing links are fed by a per-router LDO whose input
+// is one of three rails (0.9 V, 1.1 V, 1.2 V) produced simultaneously by a
+// single-inductor multiple-output (SIMO) switching converter. The LDO mux
+// keeps the dropout at or below 100 mV (Table I) which keeps power
+// efficiency above 87% across the whole 0.8-1.2 V DVFS range (Fig. 6).
+//
+// The model exposes:
+//  * the measured mode-to-mode switching latency matrix (Table II),
+//  * the cycle-cost conversion used by the network simulator (Table III),
+//  * the dropout/rail-selection logic (Table I),
+//  * efficiency curves for SIMO/LDO vs. a baseline LDO fed from 1.2 V.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/time.hpp"
+#include "src/regulator/vf_mode.hpp"
+
+namespace dozz {
+
+/// Power rail feeding an LDO, or ground when power-gated.
+enum class Rail : std::uint8_t {
+  kGround = 0,  ///< Power-gated: both LDO input and output at 0 V.
+  kRail09 = 1,  ///< 0.9 V SIMO output.
+  kRail11 = 2,  ///< 1.1 V SIMO output.
+  kRail12 = 3,  ///< 1.2 V SIMO output.
+};
+
+/// Cycle costs of a mode (Table III), expressed in cycles of that mode's
+/// own clock.
+struct ModeCycleCosts {
+  int t_switch_cycles;     ///< Worst-case DVFS switch latency.
+  int t_wakeup_cycles;     ///< Power-gating wake-up latency.
+  int t_breakeven_cycles;  ///< Minimum off time for net static savings.
+};
+
+/// Analytic SIMO/LDO regulator. Stateless and cheap; one instance can serve
+/// the whole network.
+class SimoLdoRegulator {
+ public:
+  SimoLdoRegulator();
+
+  // --- Table II: measured switching latencies (nanoseconds) ---
+
+  /// Latency to switch the LDO output between two active modes.
+  double switch_latency_ns(VfMode from, VfMode to) const;
+
+  /// Latency to wake a gated router directly into `to`.
+  double wakeup_latency_ns(VfMode to) const;
+
+  /// Latency to gate a router off from `from` (0 in this design: the rail
+  /// mux grounds input and output in well under a cycle).
+  double gate_latency_ns(VfMode from) const;
+
+  /// Worst-case active-to-active switch latency over all mode pairs.
+  double worst_switch_latency_ns() const;
+
+  /// Worst-case wake-up latency over all target modes (paper: 8.8 ns).
+  double worst_wakeup_latency_ns() const;
+
+  // --- Table III: cycle costs as used by the cycle-accurate simulator ---
+
+  /// Cycle costs of `mode`, in cycles of `mode`'s clock.
+  const ModeCycleCosts& cycle_costs(VfMode mode) const;
+
+  /// T-Switch expressed in simulation ticks for the given target mode.
+  Tick switch_penalty_ticks(VfMode to) const;
+
+  /// T-Wakeup expressed in simulation ticks for the given target mode.
+  Tick wakeup_penalty_ticks(VfMode to) const;
+
+  /// T-Breakeven expressed in simulation ticks for the given target mode.
+  Tick breakeven_ticks(VfMode to) const;
+
+  // --- Table I: rail selection and dropout ---
+
+  /// Rail the LDO mux selects to supply `vout` volts (minimum rail that
+  /// keeps dropout in [0, 100 mV]).
+  Rail rail_for(double vout_v) const;
+
+  /// Rail voltage in volts (0 for ground).
+  double rail_voltage(Rail rail) const;
+
+  /// LDO dropout in volts when regulating `vout_v` from its chosen rail.
+  double dropout_v(double vout_v) const;
+
+  // --- Fig. 6: power efficiency ---
+
+  /// End-to-end efficiency of the SIMO + LDO chain at `vout_v`.
+  double simo_efficiency(double vout_v) const;
+
+  /// Efficiency of the baseline design: a single LDO fed from a fixed
+  /// 1.2 V rail (efficiency == Vout / 1.2, scaled by LDO quiescent loss).
+  double baseline_efficiency(double vout_v) const;
+
+  /// Efficiency of the SIMO chain at a mode's voltage.
+  double simo_efficiency(VfMode mode) const;
+
+  /// Number of power switches in the SIMO design (paper: 5, down from 6).
+  int power_switch_count() const { return 5; }
+
+  /// Number of power switches in the conventional switching-array design.
+  int baseline_power_switch_count() const { return 6; }
+
+ private:
+  // 6x6 latency matrix; index 0 = power-gated, 1..5 = modes M3..M7.
+  std::array<std::array<double, 6>, 6> latency_ns_;
+  std::array<ModeCycleCosts, kNumVfModes> cycle_costs_;
+};
+
+}  // namespace dozz

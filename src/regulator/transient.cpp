@@ -1,0 +1,78 @@
+#include "src/regulator/transient.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+TransientWaveform::TransientWaveform(double v0, double v1, double settle_ns,
+                                     double zeta)
+    : v0_(v0), v1_(v1), zeta_(zeta) {
+  DOZZ_REQUIRE(settle_ns > 0.0);
+  DOZZ_REQUIRE(zeta > 0.0 && zeta < 1.0);
+  // Start from the classic 2%-band approximation t_s ~= 4 / (zeta*omega_n),
+  // then correct it exactly: settling time scales as 1/omega_n, so one
+  // measurement of the actual last 2%-band crossing calibrates omega_n so
+  // that the waveform settles at precisely the measured Table II latency.
+  omega_n_ = 4.0 / (zeta * settle_ns);
+  const double band = 0.02 * std::fabs(v1 - v0);
+  if (band > 0.0) {
+    const double measured = settling_time_ns(band);
+    if (measured > 0.0) omega_n_ *= measured / settle_ns;
+  }
+}
+
+double TransientWaveform::voltage_at(double t_ns) const {
+  if (t_ns <= 0.0) return v0_;
+  const double wd = omega_n_ * std::sqrt(1.0 - zeta_ * zeta_);
+  const double decay = std::exp(-zeta_ * omega_n_ * t_ns);
+  const double phase = std::cos(wd * t_ns) +
+                       (zeta_ / std::sqrt(1.0 - zeta_ * zeta_)) *
+                           std::sin(wd * t_ns);
+  double v = v1_ - (v1_ - v0_) * decay * phase;
+  // The physical LDO output never goes below ground.
+  return v < 0.0 ? 0.0 : v;
+}
+
+std::vector<WaveformSample> TransientWaveform::sample(
+    double duration_ns, std::size_t num_samples) const {
+  DOZZ_REQUIRE(duration_ns > 0.0 && num_samples >= 2);
+  std::vector<WaveformSample> out;
+  out.reserve(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const double t =
+        duration_ns * static_cast<double>(i) / static_cast<double>(num_samples - 1);
+    out.push_back({t, voltage_at(t)});
+  }
+  return out;
+}
+
+double TransientWaveform::settling_time_ns(double band_v) const {
+  DOZZ_REQUIRE(band_v > 0.0);
+  // Scan backwards from a generous horizon for the last excursion outside
+  // the band; sample finely relative to the natural period.
+  const double horizon = 10.0 / (zeta_ * omega_n_);
+  const std::size_t steps = 20000;
+  double last_outside = 0.0;
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double t = horizon * static_cast<double>(i) / steps;
+    if (std::fabs(voltage_at(t) - v1_) > band_v) last_outside = t;
+  }
+  return last_outside;
+}
+
+TransientWaveform TransientWaveform::wakeup(const SimoLdoRegulator& reg,
+                                            VfMode to) {
+  return TransientWaveform(0.0, vf_point(to).voltage_v,
+                           reg.wakeup_latency_ns(to));
+}
+
+TransientWaveform TransientWaveform::dvfs_switch(const SimoLdoRegulator& reg,
+                                                 VfMode from, VfMode to) {
+  DOZZ_REQUIRE(from != to);
+  return TransientWaveform(vf_point(from).voltage_v, vf_point(to).voltage_v,
+                           reg.switch_latency_ns(from, to));
+}
+
+}  // namespace dozz

@@ -1,0 +1,61 @@
+// Transient LDO output waveforms (paper Fig. 5).
+//
+// Reproduces the shape of the measured settling behaviour when a router is
+// woken from 0 V (T-Wakeup) or switched between active voltages (T-Switch):
+// a second-order underdamped step response whose 2%-band settling time
+// equals the measured Table II latency, including the small overshoot /
+// undershoot the paper says it accounted for.
+#pragma once
+
+#include <vector>
+
+#include "src/regulator/simo_ldo.hpp"
+#include "src/regulator/vf_mode.hpp"
+
+namespace dozz {
+
+/// One sampled point of a transient waveform.
+struct WaveformSample {
+  double time_ns;
+  double voltage_v;
+};
+
+/// Generates LDO output voltage waveforms for regulator transitions.
+class TransientWaveform {
+ public:
+  /// Builds a step from `v0` to `v1` volts whose 2%-band settling time is
+  /// `settle_ns`. `zeta` is the damping ratio (default slightly underdamped,
+  /// giving the paper's visible overshoot).
+  TransientWaveform(double v0, double v1, double settle_ns, double zeta = 0.8);
+
+  /// Voltage at `t_ns` nanoseconds after the step starts.
+  double voltage_at(double t_ns) const;
+
+  /// Uniformly sampled waveform over [0, duration_ns].
+  std::vector<WaveformSample> sample(double duration_ns,
+                                     std::size_t num_samples) const;
+
+  /// First time (ns) after which the output stays within `band_v` of the
+  /// target, found by scanning the analytic response.
+  double settling_time_ns(double band_v) const;
+
+  double start_voltage() const { return v0_; }
+  double target_voltage() const { return v1_; }
+
+  /// Convenience: the power-gating wake-up waveform (0 V -> mode voltage)
+  /// with the measured Table II latency. Matches Fig. 5(a).
+  static TransientWaveform wakeup(const SimoLdoRegulator& reg, VfMode to);
+
+  /// Convenience: a DVFS switch waveform between two modes. Matches
+  /// Fig. 5(b) for kV08 -> kV12.
+  static TransientWaveform dvfs_switch(const SimoLdoRegulator& reg,
+                                       VfMode from, VfMode to);
+
+ private:
+  double v0_;
+  double v1_;
+  double zeta_;
+  double omega_n_;  ///< Natural frequency (rad/ns).
+};
+
+}  // namespace dozz

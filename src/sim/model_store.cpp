@@ -1,0 +1,59 @@
+#include "src/sim/model_store.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+
+namespace dozz {
+
+std::string model_cache_dir() {
+  const char* env = std::getenv("DOZZ_CACHE_DIR");
+  return env != nullptr ? env : "dozz_cache";
+}
+
+std::string model_cache_path(PolicyKind kind, const SimSetup& setup,
+                             const TrainingOptions& options) {
+  std::ostringstream name;
+  name << "weights_" << policy_name(kind) << '_'
+       << setup.make_topology().name() << "_e" << setup.noc.epoch_cycles
+       << "_d"
+       << (options.gather_cycles > 0 ? options.gather_cycles
+                                     : setup.duration_cycles)
+       << "_c";
+  for (double c : options.compressions) name << '-' << c;
+  name << ".txt";
+  return model_cache_dir() + "/" + name.str();
+}
+
+WeightVector load_or_train(PolicyKind kind, const SimSetup& setup,
+                           const TrainingOptions& options) {
+  const std::string path = model_cache_path(kind, setup, options);
+  const bool no_cache = std::getenv("DOZZ_NO_CACHE") != nullptr;
+  if (!no_cache) {
+    std::ifstream in(path);
+    if (in) {
+      try {
+        WeightVector w = WeightVector::load(in);
+        DOZZ_LOG_INFO("loaded cached weights from " << path);
+        return w;
+      } catch (const InputError&) {
+        // Corrupt cache entry: fall through and retrain.
+      }
+    }
+  }
+  const TrainedModel model = train_policy_model(kind, setup, options);
+  std::error_code ec;
+  std::filesystem::create_directories(model_cache_dir(), ec);
+  if (!ec) {
+    std::ofstream out(path);
+    if (out) model.weights.save(out);
+  }
+  return model.weights;
+}
+
+}  // namespace dozz

@@ -1,0 +1,24 @@
+// File-backed cache of trained weight vectors, mirroring the paper's
+// workflow of exporting offline-trained weights for the network simulator.
+// Bench binaries share one cache directory so each ML model is trained once.
+#pragma once
+
+#include <string>
+
+#include "src/sim/training.hpp"
+
+namespace dozz {
+
+/// Cache directory: $DOZZ_CACHE_DIR or "./dozz_cache".
+std::string model_cache_dir();
+
+/// Deterministic cache file name for a (kind, setup, options) combination.
+std::string model_cache_path(PolicyKind kind, const SimSetup& setup,
+                             const TrainingOptions& options);
+
+/// Loads cached weights if present, otherwise runs the full training
+/// pipeline and stores the result. Set DOZZ_NO_CACHE=1 to force retraining.
+WeightVector load_or_train(PolicyKind kind, const SimSetup& setup,
+                           const TrainingOptions& options = {});
+
+}  // namespace dozz

@@ -1,0 +1,28 @@
+#include "src/sim/oracle.hpp"
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+RunOutcome run_oracle(const SimSetup& setup, const Trace& trace, bool gating,
+                      int iterations) {
+  DOZZ_REQUIRE(iterations >= 1);
+  const int routers = setup.make_topology().num_routers();
+
+  // Bootstrap: a reactive run records the first utilization trajectory.
+  ReactiveDvfsPolicy bootstrap("oracle-bootstrap", gating, /*turbo=*/false,
+                               routers);
+  RunOutcome outcome =
+      run_simulation(setup, bootstrap, trace, /*collect_epoch_log=*/true);
+
+  for (int i = 0; i < iterations; ++i) {
+    IbuTrajectory trajectory = trajectory_from_log(outcome.epoch_log);
+    if (trajectory.empty()) break;  // run shorter than one window
+    OracleDvfsPolicy oracle(std::move(trajectory), gating, routers);
+    outcome =
+        run_simulation(setup, oracle, trace, /*collect_epoch_log=*/true);
+  }
+  return outcome;
+}
+
+}  // namespace dozz

@@ -1,0 +1,19 @@
+// Oracle DVFS runs: bootstrap a utilization trajectory, then iterate the
+// oracle against its own trajectory until it is self-consistent (the modes
+// the oracle picks change the traffic timing, which changes the trajectory
+// it should have predicted; a couple of iterations converge in practice).
+#pragma once
+
+#include "src/core/baselines.hpp"
+#include "src/sim/runner.hpp"
+
+namespace dozz {
+
+/// Runs perfect-future-knowledge DVFS (optionally with power-gating) on
+/// `trace`. `iterations` >= 1: iteration 0 bootstraps the trajectory with
+/// the reactive policy, each further iteration replays the oracle against
+/// the trajectory recorded from the previous one.
+RunOutcome run_oracle(const SimSetup& setup, const Trace& trace, bool gating,
+                      int iterations = 2);
+
+}  // namespace dozz

@@ -1,0 +1,46 @@
+#include "src/sim/replicate.hpp"
+
+#include "src/common/error.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+namespace dozz {
+
+ReplicatedResult run_replicated(const SimSetup& setup, PolicyKind kind,
+                                const std::string& benchmark,
+                                double compression, int num_seeds,
+                                const std::optional<WeightVector>& weights) {
+  DOZZ_REQUIRE(num_seeds >= 1);
+  DOZZ_REQUIRE(compression > 0.0);
+  const Topology topo = setup.make_topology();
+  const auto& profile = benchmark_profile(benchmark);
+  const auto gen_cycles = static_cast<std::uint64_t>(
+      static_cast<double>(setup.duration_cycles) / compression);
+
+  ReplicatedResult result;
+  for (int seed = 0; seed < num_seeds; ++seed) {
+    Trace trace = generate_benchmark_trace(
+        profile, topo, gen_cycles, static_cast<std::uint64_t>(seed));
+    if (compression != 1.0) trace = trace.compressed(compression);
+    trace.set_name(benchmark + "#" + std::to_string(seed));
+
+    const NetworkMetrics base =
+        run_policy(setup, PolicyKind::kBaseline, trace).metrics;
+    const NetworkMetrics m = run_policy(setup, kind, trace, weights).metrics;
+
+    if (base.static_energy_j > 0)
+      result.static_savings.add(1.0 -
+                                m.static_energy_j / base.static_energy_j);
+    if (base.dynamic_energy_j > 0)
+      result.dynamic_savings.add(
+          1.0 - (m.dynamic_energy_j + m.ml_energy_j) / base.dynamic_energy_j);
+    if (base.throughput_flits_per_ns() > 0)
+      result.throughput_loss.add(1.0 - m.throughput_flits_per_ns() /
+                                           base.throughput_flits_per_ns());
+    result.latency_ns.add(m.packet_latency_ns.mean());
+    result.off_time_fraction.add(m.off_time_fraction);
+    ++result.seeds;
+  }
+  return result;
+}
+
+}  // namespace dozz

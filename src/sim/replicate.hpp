@@ -1,0 +1,33 @@
+// Seed replication: runs the same experiment over independently seeded
+// trace instances and reports mean and standard deviation for the headline
+// metrics — the error bars the paper's single-trace numbers lack.
+#pragma once
+
+#include <string>
+
+#include "src/common/stats.hpp"
+#include "src/core/policies.hpp"
+#include "src/sim/runner.hpp"
+
+namespace dozz {
+
+/// Aggregated results over N seeds.
+struct ReplicatedResult {
+  RunningStat static_savings;     ///< vs the baseline run on the same seed.
+  RunningStat dynamic_savings;
+  RunningStat throughput_loss;
+  RunningStat latency_ns;         ///< Policy-run mean packet latency.
+  RunningStat off_time_fraction;
+  int seeds = 0;
+};
+
+/// Runs `kind` (ML kinds need `weights`) against fresh instances of the
+/// named benchmark for seeds 0..num_seeds-1, each paired with a baseline
+/// run on the identical trace.
+ReplicatedResult run_replicated(const SimSetup& setup, PolicyKind kind,
+                                const std::string& benchmark,
+                                double compression, int num_seeds,
+                                const std::optional<WeightVector>& weights =
+                                    std::nullopt);
+
+}  // namespace dozz

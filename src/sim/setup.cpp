@@ -1,0 +1,22 @@
+#include "src/sim/setup.hpp"
+
+#include <cstdlib>
+
+namespace dozz {
+
+std::uint64_t quick_divisor() {
+  static const std::uint64_t divisor = []() -> std::uint64_t {
+    const char* env = std::getenv("DOZZ_QUICK");
+    if (env == nullptr) return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return v >= 1 ? static_cast<std::uint64_t>(v) : 1;
+  }();
+  return divisor;
+}
+
+std::uint64_t scaled_cycles(std::uint64_t cycles, std::uint64_t min_cycles) {
+  const std::uint64_t scaled = cycles / quick_divisor();
+  return scaled < min_cycles ? min_cycles : scaled;
+}
+
+}  // namespace dozz

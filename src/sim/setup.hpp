@@ -1,0 +1,49 @@
+// Experiment setup shared by examples, tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/time.hpp"
+#include "src/noc/noc_config.hpp"
+#include "src/topology/topology.hpp"
+
+namespace dozz {
+
+/// Time-compression factor of the paper's "compressed" trace runs: trace
+/// inter-arrival gaps are scaled by 1/4, quadrupling the offered load.
+inline constexpr double kCompressedFactor = 0.25;
+
+/// One experiment configuration: topology + simulator parameters + length.
+struct SimSetup {
+  bool cmesh = false;  ///< false: 8x8 mesh; true: 4x4 concentrated mesh.
+  bool torus = false;  ///< 8x8 torus (set noc.vc_classes = 2; overrides
+                       ///< cmesh).
+  NocConfig noc;
+  std::uint64_t duration_cycles = 60000;  ///< Run window, baseline cycles.
+  /// Paper methodology: run each trace to completion, so a slower policy
+  /// takes longer wall time (that is what the paper's throughput-loss and
+  /// static-energy numbers measure). When false, runs a fixed window.
+  bool run_to_drain = false;
+
+  Topology make_topology() const {
+    if (torus) return make_torus();
+    return cmesh ? make_cmesh() : make_mesh();
+  }
+
+  Tick end_tick() const { return duration_cycles * kBaselinePeriodTicks; }
+
+  /// Safety horizon for drain mode: well past any sane completion time.
+  Tick max_drain_tick() const { return end_tick() * 8; }
+};
+
+/// Scale factor for bench workloads, settable via the DOZZ_QUICK environment
+/// variable (e.g. DOZZ_QUICK=4 divides run lengths by 4 for smoke runs).
+/// Returns 1 when unset.
+std::uint64_t quick_divisor();
+
+/// `cycles / quick_divisor()`, floored at `min_cycles`.
+std::uint64_t scaled_cycles(std::uint64_t cycles,
+                            std::uint64_t min_cycles = 5000);
+
+}  // namespace dozz

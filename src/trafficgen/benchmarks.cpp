@@ -1,0 +1,170 @@
+#include "src/trafficgen/benchmarks.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace dozz {
+
+namespace {
+// Shape parameters per benchmark. Rates are requests per core per baseline
+// (2.25 GHz) cycle during "on" phases; full-system NoC loads are low, which
+// is exactly what makes power-gating worthwhile (paper §IV).
+// Full-system NoC traffic is *bursty*: computation phases inject dense
+// packet trains (cache-miss storms around synchronization points) separated
+// by long silences. The burst intensity (on_rate) is high while the duty
+// cycle is low, which is exactly the structure power-gating (silences) and
+// DVFS (bursts) exploit.
+const std::vector<BenchmarkProfile> kProfiles = {
+    // name           on_rate duty  phase  hot   neigh swing  period
+    {"blackscholes",  0.016,  0.10, 600.0, 0.10, 0.10, 0.30, 20000.0},
+    {"bodytrack",     0.035,  0.13, 400.0, 0.15, 0.20, 0.40, 15000.0},
+    {"canneal",       0.060,  0.20, 800.0, 0.10, 0.05, 0.20, 30000.0},
+    {"dedup",         0.042,  0.14, 500.0, 0.35, 0.10, 0.30, 18000.0},
+    {"ferret",        0.049,  0.16, 450.0, 0.20, 0.35, 0.30, 22000.0},
+    {"fluidanimate",  0.035,  0.14, 700.0, 0.05, 0.60, 0.40, 25000.0},
+    {"freqmine",      0.042,  0.16, 500.0, 0.15, 0.15, 0.30, 20000.0},
+    {"swaptions",     0.020,  0.09, 900.0, 0.08, 0.10, 0.50, 16000.0},
+    {"vips",          0.045,  0.17, 350.0, 0.20, 0.25, 0.30, 14000.0},
+    {"x264",          0.077,  0.14, 250.0, 0.15, 0.20, 0.50, 10000.0},
+    {"barnes",        0.039,  0.16, 600.0, 0.12, 0.30, 0.30, 24000.0},
+    {"fft",           0.088,  0.11, 300.0, 0.10, 0.05, 0.60, 12000.0},
+    {"lu",            0.032,  0.14, 650.0, 0.08, 0.50, 0.30, 26000.0},
+    {"radix",         0.063,  0.13, 350.0, 0.40, 0.05, 0.40, 13000.0},
+};
+
+const std::vector<std::string> kTraining = {"blackscholes", "bodytrack",
+                                            "canneal",      "dedup",
+                                            "ferret",       "fluidanimate"};
+const std::vector<std::string> kValidation = {"freqmine", "swaptions", "vips"};
+const std::vector<std::string> kTest = {"x264", "barnes", "fft", "lu", "radix"};
+
+std::uint64_t name_seed(const std::string& name, std::uint64_t salt) {
+  std::uint64_t h = 0x51a1c0de00000000ULL ^ salt;
+  for (char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    (void)splitmix64(h);
+  }
+  return splitmix64(h);
+}
+
+/// Hotspot cores: slot 0 at the four corner routers (memory controllers).
+std::vector<CoreId> hotspot_cores(const Topology& topo) {
+  const int w = topo.width();
+  const int h = topo.height();
+  return {
+      topo.core_at(topo.router_at(0, 0), 0),
+      topo.core_at(topo.router_at(w - 1, 0), 0),
+      topo.core_at(topo.router_at(0, h - 1), 0),
+      topo.core_at(topo.router_at(w - 1, h - 1), 0),
+  };
+}
+}  // namespace
+
+const std::vector<BenchmarkProfile>& benchmark_profiles() { return kProfiles; }
+
+const BenchmarkProfile& benchmark_profile(const std::string& name) {
+  for (const auto& p : kProfiles)
+    if (p.name == name) return p;
+  throw InputError("unknown benchmark: " + name);
+}
+
+const std::vector<std::string>& training_benchmarks() { return kTraining; }
+const std::vector<std::string>& validation_benchmarks() { return kValidation; }
+const std::vector<std::string>& test_benchmarks() { return kTest; }
+
+Trace generate_benchmark_trace(const BenchmarkProfile& profile,
+                               const Topology& topo,
+                               std::uint64_t duration_cycles,
+                               std::uint64_t seed_salt) {
+  DOZZ_REQUIRE(duration_cycles > 0);
+  Trace trace(profile.name);
+  const double cycle_ns = ns_from_ticks(kBaselinePeriodTicks);
+  const auto hotspots = hotspot_cores(topo);
+  const double max_mod = 1.0 + profile.phase_swing;
+  const double duration = static_cast<double>(duration_cycles);
+
+  // Program phases are *global*: PARSEC/SPLASH-2 threads synchronize at
+  // barriers, so all cores burst together and the whole chip goes quiet
+  // together. The alternating on/off schedule is drawn once per benchmark;
+  // each core then jitters the boundaries slightly (threads do not hit a
+  // barrier at the exact same cycle).
+  struct Interval {
+    double begin;
+    double end;
+  };
+  std::vector<Interval> on_intervals;
+  {
+    Rng phase_rng(name_seed(profile.name, seed_salt));
+    const double on_mean =
+        std::max(profile.phase_len_cycles * 2.0 * profile.duty, 1.0);
+    const double off_mean =
+        std::max(profile.phase_len_cycles * 2.0 * (1.0 - profile.duty), 1.0);
+    bool on = phase_rng.next_bool(profile.duty);
+    double t = 0.0;
+    while (t < duration) {
+      const double len =
+          phase_rng.next_exponential(on ? on_mean : off_mean);
+      if (on) on_intervals.push_back({t, t + len});
+      t += len;
+      on = !on;
+    }
+  }
+  const double jitter_span = 0.1 * profile.phase_len_cycles;
+
+  for (CoreId core = 0; core < topo.num_cores(); ++core) {
+    Rng rng(name_seed(profile.name, seed_salt) ^
+            (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(core + 1)));
+
+    for (const Interval& iv : on_intervals) {
+      // Per-core barrier jitter.
+      const double begin = iv.begin + rng.next_double() * jitter_span;
+      const double end = iv.end + rng.next_double() * jitter_span;
+      double t = begin;
+      while (true) {
+        // Non-homogeneous Poisson arrivals via thinning against the slow
+        // sinusoidal program-phase modulation.
+        t += rng.next_exponential(1.0 / (profile.on_rate * max_mod));
+        if (t >= end || t >= duration) break;
+        const double mod =
+            1.0 + profile.phase_swing *
+                      std::sin(6.283185307179586 * t /
+                               profile.phase_period_cycles);
+        if (!rng.next_bool(mod / max_mod)) continue;
+
+        TraceEntry e;
+        e.src = core;
+        e.is_response = false;
+        e.inject_ns = t * cycle_ns;
+        // Destination: hotspot, neighbor, or uniform.
+        if (rng.next_bool(profile.hotspot_fraction)) {
+          e.dst = hotspots[rng.next_below(hotspots.size())];
+          if (e.dst == core) e.dst = (core + 1) % topo.num_cores();
+        } else if (rng.next_bool(profile.neighbor_fraction)) {
+          const RouterId r = topo.router_of_core(core);
+          RouterId pick = r;
+          for (int attempt = 0; attempt < 8 && pick == r; ++attempt) {
+            const auto d =
+                static_cast<Direction>(rng.next_below(kNumDirections));
+            if (auto nb = topo.neighbor(r, d)) pick = *nb;
+          }
+          const int slot = static_cast<int>(rng.next_below(
+              static_cast<std::uint64_t>(topo.concentration())));
+          e.dst = topo.core_at(pick, slot);
+          if (e.dst == core) e.dst = (core + 1) % topo.num_cores();
+        } else {
+          auto dst = static_cast<CoreId>(rng.next_below(
+              static_cast<std::uint64_t>(topo.num_cores() - 1)));
+          if (dst >= core) ++dst;
+          e.dst = dst;
+        }
+        trace.add(e);
+      }
+    }
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace dozz

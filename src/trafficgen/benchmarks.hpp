@@ -1,0 +1,62 @@
+// Synthetic stand-ins for the paper's 14 PARSEC 2.1 / SPLASH-2 trace files.
+//
+// The paper gathers per-core traces from Multi2Sim full-system runs; those
+// traces are not redistributable, so each benchmark here is a named
+// generator whose traffic *shape* matches the published characterization of
+// the workload: mean NoC load, burstiness (on/off execution phases that
+// create the idle windows power-gating exploits), spatial pattern (uniform
+// cache traffic, neighbor-heavy stencils, hotspot directory/memory-
+// controller traffic) and slow program-phase modulation that DVFS tracks.
+//
+// The standard split used throughout the repo matches the paper's counts:
+// 6 training, 3 validation, 5 test traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/topology/topology.hpp"
+#include "src/trafficgen/trace.hpp"
+
+namespace dozz {
+
+/// Shape parameters of one synthetic benchmark.
+struct BenchmarkProfile {
+  std::string name;
+  /// Mean request injection probability per core per baseline cycle while
+  /// in an "on" phase.
+  double on_rate;
+  /// Fraction of time a core spends in "on" phases (duty cycle).
+  double duty;
+  /// Mean length of an on/off phase in baseline cycles.
+  double phase_len_cycles;
+  /// Fraction of packets sent to a small hotspot set (directories/MCs).
+  double hotspot_fraction;
+  /// Fraction of (non-hotspot) packets sent to a neighboring router.
+  double neighbor_fraction;
+  /// Amplitude of the slow sinusoidal program-phase modulation in [0, 1).
+  double phase_swing;
+  /// Period of the program-phase modulation in baseline cycles.
+  double phase_period_cycles;
+};
+
+/// All 14 profiles: 10 PARSEC + 4 SPLASH-2 names.
+const std::vector<BenchmarkProfile>& benchmark_profiles();
+
+/// Profile lookup by name; throws dozz::InputError if unknown.
+const BenchmarkProfile& benchmark_profile(const std::string& name);
+
+/// The paper's split: 6 training / 3 validation / 5 test benchmarks.
+const std::vector<std::string>& training_benchmarks();
+const std::vector<std::string>& validation_benchmarks();
+const std::vector<std::string>& test_benchmarks();
+
+/// Generates the (uncompressed) trace of `profile` on `topo` lasting
+/// `duration_cycles` baseline cycles. Deterministic in (profile, topo,
+/// duration, seed_salt).
+Trace generate_benchmark_trace(const BenchmarkProfile& profile,
+                               const Topology& topo,
+                               std::uint64_t duration_cycles,
+                               std::uint64_t seed_salt = 0);
+
+}  // namespace dozz

@@ -1,0 +1,165 @@
+#include "src/trafficgen/fullsystem.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+
+namespace dozz {
+
+namespace {
+const std::vector<FullSystemProfile> kProfiles = {
+    // Memory-bound: frequent misses, short compute stretches.
+    {.name = "fs-memheavy",
+     .ipc = 1.2,
+     .mem_op_fraction = 0.40,
+     .l1_hit_rate = 0.90,
+     .l2_hit_rate = 0.60,
+     .mshrs = 8,
+     .l1_miss_penalty_cycles = 40.0,
+     .l2_miss_penalty_cycles = 160.0,
+     .barrier_interval_cycles = 3000.0,
+     .barrier_compute_cycles = 600.0,
+     .shared_hot_fraction = 0.15},
+    // Balanced.
+    {.name = "fs-balanced",
+     .ipc = 1.0,
+     .mem_op_fraction = 0.30,
+     .l1_hit_rate = 0.95,
+     .l2_hit_rate = 0.70,
+     .mshrs = 4,
+     .l1_miss_penalty_cycles = 40.0,
+     .l2_miss_penalty_cycles = 160.0,
+     .barrier_interval_cycles = 4000.0,
+     .barrier_compute_cycles = 1500.0,
+     .shared_hot_fraction = 0.10},
+    // Compute-bound: rare misses, long global silences.
+    {.name = "fs-compute",
+     .ipc = 1.5,
+     .mem_op_fraction = 0.15,
+     .l1_hit_rate = 0.97,
+     .l2_hit_rate = 0.80,
+     .mshrs = 4,
+     .l1_miss_penalty_cycles = 40.0,
+     .l2_miss_penalty_cycles = 160.0,
+     .barrier_interval_cycles = 6000.0,
+     .barrier_compute_cycles = 3500.0,
+     .shared_hot_fraction = 0.05},
+};
+}  // namespace
+
+const std::vector<FullSystemProfile>& fullsystem_profiles() {
+  return kProfiles;
+}
+
+const FullSystemProfile& fullsystem_profile(const std::string& name) {
+  for (const auto& p : kProfiles)
+    if (p.name == name) return p;
+  throw InputError("unknown full-system profile: " + name);
+}
+
+Trace generate_fullsystem_trace(const FullSystemProfile& profile,
+                                const Topology& topo,
+                                std::uint64_t duration_cycles,
+                                std::uint64_t seed_salt) {
+  DOZZ_REQUIRE(duration_cycles > 0);
+  DOZZ_REQUIRE(profile.mshrs >= 1);
+  DOZZ_REQUIRE(profile.ipc > 0.0 && profile.mem_op_fraction > 0.0);
+  DOZZ_REQUIRE(profile.l1_hit_rate >= 0.0 && profile.l1_hit_rate < 1.0);
+
+  Trace trace(profile.name);
+  const double cycle_ns = ns_from_ticks(kBaselinePeriodTicks);
+  const double duration = static_cast<double>(duration_cycles);
+  const double mean_gap = 1.0 / (profile.ipc * profile.mem_op_fraction);
+
+  // Memory controllers at the four corner routers (slot 0 cores).
+  const std::array<CoreId, 4> mcs = {
+      topo.core_at(topo.router_at(0, 0), 0),
+      topo.core_at(topo.router_at(topo.width() - 1, 0), 0),
+      topo.core_at(topo.router_at(0, topo.height() - 1), 0),
+      topo.core_at(topo.router_at(topo.width() - 1, topo.height() - 1), 0),
+  };
+  // One shared-hot home bank (a lock/reduction variable's directory).
+  std::uint64_t hot_seed = 0x607B00ULL ^ seed_salt;
+  const RouterId hot_home = static_cast<RouterId>(
+      splitmix64(hot_seed) % static_cast<std::uint64_t>(topo.num_routers()));
+
+  for (CoreId core = 0; core < topo.num_cores(); ++core) {
+    std::uint64_t seed = 0xF00D5EED ^ seed_salt;
+    for (char c : profile.name)
+      seed = seed * 31 + static_cast<std::uint64_t>(c);
+    Rng rng(splitmix64(seed) ^
+            (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(core + 1)));
+
+    // Outstanding-miss completion times (the MSHR file).
+    std::vector<double> mshrs;
+    double t = 0.0;
+    while (t < duration) {
+      // --- Barrier: everyone synchronizes, then computes silently ---
+      const double barrier_index =
+          std::floor(t / profile.barrier_interval_cycles);
+      const double region_start = barrier_index *
+                                  profile.barrier_interval_cycles;
+      const double compute_end =
+          region_start + profile.barrier_compute_cycles *
+                             (0.9 + 0.2 * rng.next_double());
+      if (t < compute_end) t = compute_end;
+      const double region_end =
+          region_start + profile.barrier_interval_cycles;
+
+      // --- Memory-active stretch until the next barrier ---
+      while (t < region_end && t < duration) {
+        t += rng.next_exponential(mean_gap);
+        if (t >= region_end || t >= duration) break;
+        if (rng.next_bool(profile.l1_hit_rate)) continue;  // L1 hit: free
+
+        // An L1 miss needs an MSHR; stall the core when none is free.
+        if (static_cast<int>(mshrs.size()) >= profile.mshrs) {
+          const auto earliest =
+              std::min_element(mshrs.begin(), mshrs.end());
+          t = std::max(t, *earliest);
+          mshrs.erase(earliest);
+          if (t >= region_end || t >= duration) break;
+        }
+        // Retire any misses that completed in the meantime.
+        std::erase_if(mshrs, [t](double done) { return done <= t; });
+
+        // Pick the home L2 bank by address hash.
+        RouterId home;
+        if (rng.next_bool(profile.shared_hot_fraction)) {
+          home = hot_home;
+        } else {
+          home = static_cast<RouterId>(
+              rng.next_below(static_cast<std::uint64_t>(topo.num_routers())));
+        }
+        CoreId home_core = topo.core_at(
+            home, static_cast<int>(rng.next_below(
+                      static_cast<std::uint64_t>(topo.concentration()))));
+        if (home_core == core)
+          home_core = (core + 1) % topo.num_cores();
+
+        // Core -> home request.
+        trace.add({core, home_core, false, t * cycle_ns});
+
+        const bool l2_hit = rng.next_bool(profile.l2_hit_rate);
+        double done = t + profile.l1_miss_penalty_cycles;
+        if (!l2_hit) {
+          // Home bank misses: it asks a memory controller half a round
+          // trip later.
+          const CoreId mc = mcs[rng.next_below(mcs.size())];
+          const double forward_t = t + profile.l1_miss_penalty_cycles * 0.5;
+          if (forward_t < duration && mc != home_core)
+            trace.add({home_core, mc, false, forward_t * cycle_ns});
+          done = t + profile.l2_miss_penalty_cycles;
+        }
+        mshrs.push_back(done);
+      }
+    }
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace dozz

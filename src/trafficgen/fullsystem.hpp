@@ -1,0 +1,56 @@
+// "Full-system-lite" trace generation: a simplified multicore memory
+// hierarchy that produces NoC traffic the way the paper's Multi2Sim
+// full-system runs do (Sec. IV-A) — cores execute synthetic instruction
+// streams, memory operations walk an L1 -> distributed-L2-home -> memory-
+// controller hierarchy, and every network crossing becomes a trace entry.
+//
+// Unlike the phase-based generators in benchmarks.hpp (which imitate the
+// *statistics* of full-system traffic), this model derives burstiness from
+// first principles: cores stall on outstanding misses (finite MSHRs), so
+// injection self-throttles; barrier intervals synchronize the cores, so
+// silence is global.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/topology/topology.hpp"
+#include "src/trafficgen/trace.hpp"
+
+namespace dozz {
+
+/// Workload parameters for the full-system-lite generator.
+struct FullSystemProfile {
+  std::string name;
+  double ipc = 1.0;               ///< Instructions per (baseline) cycle.
+  double mem_op_fraction = 0.3;   ///< Loads+stores per instruction.
+  double l1_hit_rate = 0.95;      ///< Private L1 hit probability.
+  double l2_hit_rate = 0.7;       ///< Shared (distributed) L2 hit prob.
+  int mshrs = 4;                  ///< Outstanding misses before the core
+                                  ///< stalls.
+  double l1_miss_penalty_cycles = 40.0;   ///< Estimated L2 round trip.
+  double l2_miss_penalty_cycles = 160.0;  ///< Estimated memory round trip.
+  double barrier_interval_cycles = 4000.0;  ///< Work between barriers.
+  double barrier_compute_cycles = 1500.0;   ///< Non-memory stretch after a
+                                            ///< barrier (global silence).
+  /// Fraction of misses to a small shared-hot region (one home bank).
+  double shared_hot_fraction = 0.1;
+};
+
+/// Built-in profiles (memory-bound, compute-bound, balanced).
+const std::vector<FullSystemProfile>& fullsystem_profiles();
+const FullSystemProfile& fullsystem_profile(const std::string& name);
+
+/// Generates a trace on `topo` for `duration_cycles` baseline cycles.
+///
+/// Address mapping: L2 home banks are interleaved across all routers by
+/// address hash; memory controllers sit at the four corners. Request
+/// entries are emitted when a miss leaves a core (core -> home) and when a
+/// home bank misses (home -> memory controller); responses are generated
+/// by the simulator's NIs at delivery time (auto_response).
+Trace generate_fullsystem_trace(const FullSystemProfile& profile,
+                                const Topology& topo,
+                                std::uint64_t duration_cycles,
+                                std::uint64_t seed_salt = 0);
+
+}  // namespace dozz

@@ -1,0 +1,122 @@
+#include "src/trafficgen/patterns.hpp"
+
+#include <array>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+DestinationPattern uniform_pattern(int num_cores) {
+  DOZZ_REQUIRE(num_cores >= 2);
+  return [num_cores](CoreId src, Rng& rng) {
+    auto dst = static_cast<CoreId>(
+        rng.next_below(static_cast<std::uint64_t>(num_cores - 1)));
+    if (dst >= src) ++dst;  // skip self without bias
+    return dst;
+  };
+}
+
+DestinationPattern transpose_pattern(const Topology& topo) {
+  // Transpose acts on the router grid; the local slot is preserved.
+  return [&topo](CoreId src, Rng& rng) {
+    const RouterId r = topo.router_of_core(src);
+    const RouterId t = topo.router_at(topo.y_of(r) % topo.width(),
+                                      topo.x_of(r) % topo.height());
+    CoreId dst = topo.core_at(t, topo.local_slot_of_core(src));
+    if (dst == src) {  // diagonal routers map to themselves; redirect
+      dst = static_cast<CoreId>(rng.next_below(topo.num_cores()));
+      if (dst == src) dst = (src + 1) % topo.num_cores();
+    }
+    return dst;
+  };
+}
+
+DestinationPattern bit_complement_pattern(int num_cores) {
+  DOZZ_REQUIRE(num_cores >= 2 && (num_cores & (num_cores - 1)) == 0);
+  const CoreId mask = num_cores - 1;
+  return [mask](CoreId src, Rng&) { return (~src) & mask; };
+}
+
+DestinationPattern hotspot_pattern(int num_cores, std::vector<CoreId> hotspots,
+                                   double hot_fraction) {
+  DOZZ_REQUIRE(!hotspots.empty());
+  DOZZ_REQUIRE(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  for (CoreId h : hotspots) DOZZ_REQUIRE(h >= 0 && h < num_cores);
+  auto uniform = uniform_pattern(num_cores);
+  return [hotspots = std::move(hotspots), hot_fraction, uniform](
+             CoreId src, Rng& rng) -> CoreId {
+    if (rng.next_bool(hot_fraction)) {
+      const CoreId h = hotspots[rng.next_below(hotspots.size())];
+      if (h != src) return h;
+    }
+    return uniform(src, rng);
+  };
+}
+
+DestinationPattern neighbor_pattern(const Topology& topo) {
+  return [&topo](CoreId src, Rng& rng) {
+    const RouterId r = topo.router_of_core(src);
+    std::array<RouterId, kNumDirections> options{};
+    int n = 0;
+    for (int d = 0; d < kNumDirections; ++d) {
+      if (auto nb = topo.neighbor(r, static_cast<Direction>(d)))
+        options[static_cast<std::size_t>(n++)] = *nb;
+    }
+    DOZZ_ASSERT(n > 0);
+    const RouterId pick =
+        options[rng.next_below(static_cast<std::uint64_t>(n))];
+    const int slot =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+            topo.concentration())));
+    return topo.core_at(pick, slot);
+  };
+}
+
+DestinationPattern tornado_pattern(const Topology& topo) {
+  return [&topo](CoreId src, Rng&) {
+    const RouterId r = topo.router_of_core(src);
+    const int x = (topo.x_of(r) + topo.width() / 2) % topo.width();
+    const int y = topo.y_of(r);
+    CoreId dst = topo.core_at(topo.router_at(x, y), topo.local_slot_of_core(src));
+    if (dst == src) dst = (src + 1) % topo.num_cores();
+    return dst;
+  };
+}
+
+DestinationPattern pattern_by_name(const std::string& name,
+                                   const Topology& topo) {
+  if (name == "uniform") return uniform_pattern(topo.num_cores());
+  if (name == "transpose") return transpose_pattern(topo);
+  if (name == "bitcomp") return bit_complement_pattern(topo.num_cores());
+  if (name == "hotspot")
+    return hotspot_pattern(topo.num_cores(), {0, topo.num_cores() - 1}, 0.3);
+  if (name == "neighbor") return neighbor_pattern(topo);
+  if (name == "tornado") return tornado_pattern(topo);
+  throw InputError("unknown traffic pattern: " + name);
+}
+
+Trace generate_synthetic_trace(const Topology& topo,
+                               const DestinationPattern& pattern,
+                               double injection_rate,
+                               std::uint64_t duration_cycles,
+                               std::uint64_t seed) {
+  DOZZ_REQUIRE(injection_rate >= 0.0 && injection_rate <= 1.0);
+  Trace trace("synthetic");
+  Rng rng(seed);
+  const double cycle_ns = ns_from_ticks(kBaselinePeriodTicks);
+  for (std::uint64_t cycle = 0; cycle < duration_cycles; ++cycle) {
+    for (CoreId core = 0; core < topo.num_cores(); ++core) {
+      if (!rng.next_bool(injection_rate)) continue;
+      TraceEntry e;
+      e.src = core;
+      e.dst = pattern(core, rng);
+      e.is_response = false;
+      e.inject_ns = static_cast<double>(cycle) * cycle_ns;
+      trace.add(e);
+    }
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace dozz

@@ -1,0 +1,54 @@
+// Classic synthetic destination patterns (uniform random, transpose,
+// bit-complement, hotspot, neighbor, tornado) for unit tests, examples and
+// load sweeps.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/topology/topology.hpp"
+#include "src/trafficgen/trace.hpp"
+
+namespace dozz {
+
+/// Picks a destination core for a packet injected by `src`.
+using DestinationPattern = std::function<CoreId(CoreId src, Rng& rng)>;
+
+/// Uniform random over all cores except the source.
+DestinationPattern uniform_pattern(int num_cores);
+
+/// Matrix transpose on the core grid: (x, y) -> (y, x).
+DestinationPattern transpose_pattern(const Topology& topo);
+
+/// Bit complement of the core id (num_cores must be a power of two).
+DestinationPattern bit_complement_pattern(int num_cores);
+
+/// A fraction `hot_fraction` of packets target one of `hotspots`;
+/// the rest are uniform random.
+DestinationPattern hotspot_pattern(int num_cores, std::vector<CoreId> hotspots,
+                                   double hot_fraction);
+
+/// Nearest-neighbor: destination router is one hop away, uniform over
+/// existing neighbors (local slot uniform).
+DestinationPattern neighbor_pattern(const Topology& topo);
+
+/// Tornado: halfway around each dimension.
+DestinationPattern tornado_pattern(const Topology& topo);
+
+/// Pattern registry by name ("uniform", "transpose", "bitcomp", "hotspot",
+/// "neighbor", "tornado") for CLI-style selection in examples.
+DestinationPattern pattern_by_name(const std::string& name,
+                                   const Topology& topo);
+
+/// Generates a Bernoulli-injection trace: each core independently injects a
+/// request with probability `injection_rate` per baseline (2.25 GHz) cycle,
+/// for `duration_cycles` cycles.
+Trace generate_synthetic_trace(const Topology& topo,
+                               const DestinationPattern& pattern,
+                               double injection_rate,
+                               std::uint64_t duration_cycles,
+                               std::uint64_t seed);
+
+}  // namespace dozz

@@ -1,0 +1,63 @@
+// Network traffic traces in the paper's format: when a packet is injected,
+// the source, destination, type (request/response) and injection time are
+// saved as a single entry (paper §IV-A).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/topology/topology.hpp"
+
+namespace dozz {
+
+/// One trace record: a packet injected by a core.
+struct TraceEntry {
+  CoreId src = 0;
+  CoreId dst = 0;
+  bool is_response = false;
+  double inject_ns = 0.0;
+
+  Tick inject_tick() const { return ticks_from_ns(inject_ns); }
+};
+
+/// An injection trace, kept sorted by injection time.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add(TraceEntry entry);
+  void sort_by_time();
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const TraceEntry& operator[](std::size_t i) const { return entries_[i]; }
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// Last injection time, or 0 for an empty trace.
+  double duration_ns() const;
+
+  /// Returns a copy with all injection times multiplied by `factor`
+  /// (< 1 compresses the trace, raising offered load; the paper's
+  /// "compressed" runs).
+  Trace compressed(double factor) const;
+
+  /// Average injected packets per core per microsecond.
+  double offered_load_pkts_per_core_us(int num_cores) const;
+
+  /// Text round trip; format: one "src dst type time_ns" line per entry,
+  /// with a one-line header.
+  void save(std::ostream& out) const;
+  static Trace load(std::istream& in);
+
+ private:
+  std::string name_;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace dozz

@@ -1,0 +1,286 @@
+// Unit tests for src/common: time base, RNG, statistics, tables, CSV.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/csv.hpp"
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/log.hpp"
+#include "src/common/table.hpp"
+#include "src/common/time.hpp"
+
+namespace dozz {
+namespace {
+
+TEST(Time, AllFivePeriodsAreExactTickMultiples) {
+  // 1, 1.5, 1.8, 2, 2.25 GHz must divide the tick grid exactly.
+  EXPECT_EQ(ticks_from_ns(1.0), kTicksPerNs);
+  EXPECT_EQ(kTicksPerNs % 9000, 0u);
+  EXPECT_EQ(kTicksPerNs * 2 % 6000, 0u);   // 1.5 GHz period = 2/3 ns
+  EXPECT_EQ(kTicksPerNs * 5 % 5000, 0u);   // 1.8 GHz period = 5/9 ns
+  EXPECT_EQ(kTicksPerNs % 4500, 0u);       // 2 GHz period = 0.5 ns
+  EXPECT_EQ(kTicksPerNs * 4 % 4000, 0u);   // 2.25 GHz period = 4/9 ns
+}
+
+TEST(Time, RoundTripNs) {
+  EXPECT_DOUBLE_EQ(ns_from_ticks(ticks_from_ns(8.8)), 8.8);
+  EXPECT_DOUBLE_EQ(ns_from_ticks(kBaselinePeriodTicks) * 2.25, 1.0);
+}
+
+TEST(Time, BaselineCycleConversion) {
+  EXPECT_DOUBLE_EQ(baseline_cycles_from_ticks(kBaselinePeriodTicks * 500),
+                   500.0);
+}
+
+TEST(Time, SecondsConversion) {
+  EXPECT_DOUBLE_EQ(seconds_from_ticks(ticks_from_ns(1.0)), 1e-9);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::array<int, 5> seen{};
+  for (int i = 0; i < 5000; ++i) ++seen[rng.next_below(5)];
+  for (int count : seen) EXPECT_GT(count, 700);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.next_bool(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.add(rng.next_gaussian());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BurstLengthBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const auto len = rng.next_burst_length(4.0, 10);
+    EXPECT_GE(len, 1u);
+    EXPECT_LE(len, 10u);
+  }
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+  EXPECT_THROW(rng.next_in(3, 2), PreconditionError);
+  EXPECT_THROW(rng.next_exponential(0.0), PreconditionError);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat a;
+  RunningStat b;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian() * 3 + 1;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(5.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h(0.0, 100.0, 100);
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) h.add(rng.next_double() * 100.0);
+  const double q25 = h.quantile(0.25);
+  const double q50 = h.quantile(0.5);
+  const double q75 = h.quantile(0.75);
+  EXPECT_LT(q25, q50);
+  EXPECT_LT(q50, q75);
+  EXPECT_NEAR(q50, 50.0, 3.0);
+}
+
+TEST(DenseCounter, CountsAndFractions) {
+  DenseCounter c(3);
+  c.add(0, 2);
+  c.add(2, 6);
+  EXPECT_EQ(c.total(), 8u);
+  EXPECT_DOUBLE_EQ(c.fraction(2), 0.75);
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.256), "25.6%");
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Csv, RoundTrip) {
+  std::stringstream buf;
+  CsvWriter w(buf);
+  w.write_header({"x", "y"});
+  w.write_row(std::vector<double>{1.5, 2.5});
+  w.write_row(std::vector<double>{3.0, -4.0});
+  const CsvData data = read_csv(buf);
+  ASSERT_EQ(data.header.size(), 2u);
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(data.rows[1][1], -4.0);
+}
+
+TEST(Csv, RejectsBadRows) {
+  std::stringstream buf("a,b\n1,2,3\n");
+  EXPECT_THROW(read_csv(buf), InputError);
+  std::stringstream buf2("a,b\n1,zebra\n");
+  EXPECT_THROW(read_csv(buf2), InputError);
+}
+
+TEST(Csv, SplitsWithWhitespaceTrim) {
+  const auto cells = split_csv_line(" 1 , 2 ,3");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "1");
+  EXPECT_EQ(cells[1], "2");
+  EXPECT_EQ(cells[2], "3");
+}
+
+
+TEST(ErrorMacros, ThrowTypedExceptionsWithLocation) {
+  try {
+    DOZZ_REQUIRE(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"),
+              std::string::npos);
+  }
+  EXPECT_THROW(DOZZ_ASSERT(false), InvariantError);
+  EXPECT_NO_THROW(DOZZ_REQUIRE(true));
+  EXPECT_NO_THROW(DOZZ_ASSERT(true));
+}
+
+TEST(Log, LevelOverrideRoundTrip) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace dozz

@@ -1,0 +1,147 @@
+// Tests for the analytical DSENT-style power model: reproduction of
+// Table V at the reference geometry, physical scaling laws, and geometry
+// sensitivity.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/power/dsent_model.hpp"
+
+namespace dozz {
+namespace {
+
+TEST(Dsent, ReproducesTableVAtReferenceGeometry) {
+  DsentRouterModel model;  // 5 ports, 2 VCs x 4 flits, 128 bits, 4 links
+  PowerModel table;        // the paper's Table V
+  for (VfMode m : all_vf_modes()) {
+    const ModePowerCost& analytical = model.cost(m);
+    const ModePowerCost& paper = table.cost(m);
+    EXPECT_NEAR(analytical.static_power_w, paper.static_power_w,
+                paper.static_power_w * 0.02)
+        << mode_name(m);
+    EXPECT_NEAR(analytical.dynamic_energy_pj, paper.dynamic_energy_pj,
+                paper.dynamic_energy_pj * 0.02)
+        << mode_name(m);
+    EXPECT_NEAR(analytical.static_power_rel, paper.static_power_rel, 2e-3);
+  }
+}
+
+TEST(Dsent, DynamicEnergyScalesAsVSquared) {
+  DsentRouterModel model;
+  const double e08 = model.hop_energy_j(0.8);
+  const double e12 = model.hop_energy_j(1.2);
+  EXPECT_NEAR(e08 / e12, (0.8 * 0.8) / (1.2 * 1.2), 1e-12);
+}
+
+TEST(Dsent, StaticPowerScalesAsV) {
+  DsentRouterModel model;
+  EXPECT_NEAR(model.static_power_w(0.8) / model.static_power_w(1.2),
+              0.8 / 1.2, 1e-12);
+  // P = I * V: leakage current is voltage independent.
+  EXPECT_NEAR(model.leakage_current_a() * 1.2, model.static_power_w(1.2),
+              1e-12);
+}
+
+TEST(Dsent, ComponentsSumToHopEnergy) {
+  DsentRouterModel model;
+  const double v = 1.0;
+  EXPECT_NEAR(model.hop_energy_j(v),
+              model.buffer_write_energy_j(v) + model.buffer_read_energy_j(v) +
+                  model.crossbar_energy_j(v) + model.allocator_energy_j(v) +
+                  model.link_energy_j(v),
+              1e-18);
+  EXPECT_NEAR(model.static_power_w(v),
+              model.buffer_leakage_w(v) + model.logic_leakage_w(v) +
+                  model.link_leakage_w(v),
+              1e-15);
+}
+
+TEST(Dsent, MoreBuffersCostMoreLeakageAndSameLink) {
+  RouterGeometry big;
+  big.vcs_per_port = 4;
+  big.buffer_depth = 8;
+  DsentRouterModel reference;
+  DsentRouterModel larger(big);
+  EXPECT_GT(larger.buffer_leakage_w(1.2), reference.buffer_leakage_w(1.2));
+  EXPECT_DOUBLE_EQ(larger.link_energy_j(1.2), reference.link_energy_j(1.2));
+  // 4x the buffer cells -> 4x the buffer leakage.
+  EXPECT_NEAR(larger.buffer_leakage_w(1.2),
+              4.0 * reference.buffer_leakage_w(1.2), 1e-12);
+}
+
+TEST(Dsent, WiderFlitsScaleDatapathEnergy) {
+  RouterGeometry wide;
+  wide.flit_bits = 256;
+  DsentRouterModel reference;
+  DsentRouterModel wider(wide);
+  EXPECT_NEAR(wider.hop_energy_j(1.0), 2.0 * reference.hop_energy_j(1.0),
+              1e-15);
+}
+
+TEST(Dsent, MorePortsGrowCrossbarOnly) {
+  RouterGeometry cmesh;
+  cmesh.ports = 8;  // concentrated mesh router
+  DsentRouterModel reference;
+  DsentRouterModel bigger(cmesh);
+  EXPECT_NEAR(bigger.crossbar_energy_j(1.0),
+              reference.crossbar_energy_j(1.0) * 8.0 / 5.0, 1e-18);
+  EXPECT_DOUBLE_EQ(bigger.buffer_write_energy_j(1.0),
+                   reference.buffer_write_energy_j(1.0));
+  // cmesh routers cost more overall — the paper uses them as the
+  // worst-case for power numbers.
+  EXPECT_GT(bigger.static_power_w(1.2), reference.static_power_w(1.2));
+}
+
+TEST(Dsent, LongerLinksCostMore) {
+  RouterGeometry long_links;
+  long_links.link_mm = 2.0;
+  DsentRouterModel reference;
+  DsentRouterModel longer(long_links);
+  EXPECT_NEAR(longer.link_energy_j(1.0), 2.0 * reference.link_energy_j(1.0),
+              1e-18);
+  EXPECT_GT(longer.hop_energy_j(1.0), reference.hop_energy_j(1.0));
+}
+
+TEST(Dsent, ToPowerModelRoundTrips) {
+  DsentRouterModel model;
+  const PowerModel pm = model.to_power_model();
+  for (VfMode m : all_vf_modes()) {
+    EXPECT_DOUBLE_EQ(pm.static_power_w(m), model.cost(m).static_power_w);
+    EXPECT_DOUBLE_EQ(pm.cost(m).dynamic_energy_pj,
+                     model.cost(m).dynamic_energy_pj);
+  }
+}
+
+TEST(Dsent, RejectsBadGeometry) {
+  RouterGeometry g;
+  g.ports = 1;
+  EXPECT_THROW(DsentRouterModel{g}, PreconditionError);
+  g = RouterGeometry{};
+  g.link_mm = 0.0;
+  EXPECT_THROW(DsentRouterModel{g}, PreconditionError);
+}
+
+
+TEST(Dsent, DynamicBreakdownMatchesLumpedEnergy) {
+  DsentRouterModel model;
+  std::array<std::uint64_t, kNumVfModes> hops{};
+  hops[mode_index(VfMode::kV08)] = 100;
+  hops[mode_index(VfMode::kV12)] = 50;
+  const DynamicBreakdown b = dynamic_breakdown(model, hops);
+  const double lumped =
+      100 * model.hop_energy_j(0.8) + 50 * model.hop_energy_j(1.2);
+  EXPECT_NEAR(b.total_j(), lumped, lumped * 1e-12);
+  // The component shares follow the calibrated DSENT split: links and
+  // buffer writes dominate.
+  EXPECT_GT(b.link_j, b.crossbar_j);
+  EXPECT_GT(b.buffer_write_j, b.buffer_read_j);
+  EXPECT_GT(b.buffer_read_j, b.allocator_j);
+}
+
+TEST(Dsent, BreakdownOfNoHopsIsZero) {
+  DsentRouterModel model;
+  std::array<std::uint64_t, kNumVfModes> hops{};
+  EXPECT_DOUBLE_EQ(dynamic_breakdown(model, hops).total_j(), 0.0);
+}
+
+}  // namespace
+}  // namespace dozz

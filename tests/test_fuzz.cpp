@@ -1,0 +1,88 @@
+// Randomized robustness: random router configurations x random workloads
+// x random policies, checked against the simulator's global invariants.
+// Internal DOZZ_ASSERTs (credit bounds, buffer occupancy, inbound counts)
+// act as the oracle; this test exists to drive them through odd corners.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/core/policies.hpp"
+#include "src/noc/network.hpp"
+#include "src/power/power_model.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/trafficgen/patterns.hpp"
+
+namespace dozz {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomConfigurationHoldsInvariants) {
+  Rng rng(0xF022 + static_cast<std::uint64_t>(GetParam()) * 7919);
+
+  // --- Random configuration ---
+  const bool torus = rng.next_bool(0.25);
+  const bool cmesh = !torus && rng.next_bool(0.3);
+  const Topology topo = torus   ? make_torus(4, 4)
+                        : cmesh ? make_cmesh(2, 2, 4)
+                                : make_mesh(4, 4);
+  NocConfig config;
+  config.vc_classes = torus ? 2 : 1;
+  const int per_class = 1 + static_cast<int>(rng.next_below(2));
+  config.vcs_per_port = per_class * config.vc_classes;
+  config.buffer_depth_flits = 2 + static_cast<int>(rng.next_below(5));
+  config.pipeline_stages = 1 + static_cast<int>(rng.next_below(3));
+  config.link_latency_cycles = 1 + static_cast<int>(rng.next_below(2));
+  config.routing =
+      rng.next_bool(0.5) ? RoutingAlgorithm::kXY : RoutingAlgorithm::kYX;
+  config.epoch_cycles = 100 + rng.next_below(400);
+  config.t_idle_cycles = 1 + static_cast<int>(rng.next_below(8));
+  config.auto_response = rng.next_bool(0.7);
+  config.response_size_flits = 1 + static_cast<int>(rng.next_below(6));
+  config.response_delay_ns = 1.0 + rng.next_double() * 40.0;
+
+  // --- Random workload ---
+  const char* patterns[] = {"uniform", "transpose", "hotspot", "neighbor",
+                            "tornado"};
+  const Trace trace = generate_synthetic_trace(
+      topo, pattern_by_name(patterns[rng.next_below(5)], topo),
+      0.001 + rng.next_double() * 0.03, 1500, rng.next_u64());
+
+  // --- Random policy ---
+  WeightVector w;
+  w.feature_names = EpochFeatures::names();
+  w.weights = {rng.next_gaussian() * 0.05, 0.0, 0.0, 0.0,
+               0.5 + rng.next_double()};
+  const PolicyKind kinds[] = {PolicyKind::kBaseline, PolicyKind::kPowerGate,
+                              PolicyKind::kLeadTau, PolicyKind::kDozzNoc,
+                              PolicyKind::kMlTurbo};
+  const PolicyKind kind = kinds[rng.next_below(5)];
+  auto policy = make_policy(kind, topo.num_routers(),
+                            policy_uses_ml(kind)
+                                ? std::optional<WeightVector>(w)
+                                : std::nullopt);
+
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  Network net(topo, config, *policy, power, regulator);
+  net.run_until_drained(trace, 80000 * kBaselinePeriodTicks);
+  const NetworkMetrics& m = net.metrics();
+
+  // Global invariants.
+  EXPECT_EQ(m.packets_delivered, m.packets_offered)
+      << "kind=" << policy_name(kind) << " topo=" << topo.name();
+  double fractions = 0.0;
+  for (double f : m.state_fractions) fractions += f;
+  EXPECT_NEAR(fractions, 1.0, 1e-9);
+  EXPECT_GE(m.wall_static_energy_j, m.static_energy_j);
+  EXPECT_LE(m.wakeups, m.gatings);
+  if (m.packets_delivered > 0) {
+    EXPECT_GT(m.packet_latency_ns.min(), 0.0);
+    EXPECT_LE(m.network_latency_ns.mean(),
+              m.packet_latency_ns.mean() + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace dozz

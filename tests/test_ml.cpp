@@ -1,0 +1,284 @@
+// Unit tests for the ML substrate: matrix algebra, Cholesky, ridge
+// regression, datasets, scaling and lambda tuning.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/rng.hpp"
+#include "src/ml/dataset.hpp"
+#include "src/ml/matrix.hpp"
+#include "src/ml/ridge.hpp"
+#include "src/ml/scaler.hpp"
+
+namespace dozz {
+namespace {
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a.at(r, c) = v++;
+  v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b.at(r, c) = v++;
+  const Matrix p = a.multiply(b);
+  ASSERT_EQ(p.rows(), 2u);
+  ASSERT_EQ(p.cols(), 2u);
+  EXPECT_DOUBLE_EQ(p.at(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ(p.at(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ(p.at(1, 1), 64.0);
+}
+
+TEST(Matrix, GramEqualsTransposeTimesSelf) {
+  Rng rng(8);
+  Matrix a(7, 4);
+  for (std::size_t r = 0; r < 7; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a.at(r, c) = rng.next_gaussian();
+  const Matrix g1 = a.gram();
+  const Matrix g2 = a.transpose().multiply(a);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_NEAR(g1.at(r, c), g2.at(r, c), 1e-12);
+}
+
+TEST(Matrix, TimesAndTransposeTimes) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  const auto av = a.times({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(av[0], 3.0);
+  EXPECT_DOUBLE_EQ(av[1], 7.0);
+  const auto atv = a.transpose_times({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(atv[0], 4.0);
+  EXPECT_DOUBLE_EQ(atv[1], 6.0);
+}
+
+TEST(Matrix, AppendRowSetsWidth) {
+  Matrix m;
+  m.append_row({1.0, 2.0});
+  m.append_row({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_THROW(m.append_row({1.0}), PreconditionError);
+}
+
+TEST(Cholesky, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 3;
+  const auto x = cholesky_solve(a, {6.0, 5.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip) {
+  Rng rng(21);
+  const std::size_t n = 6;
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b.at(r, c) = rng.next_gaussian();
+  Matrix a = b.gram();  // SPD (plus jitter on the diagonal)
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) += 1.0;
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.next_gaussian();
+  const auto rhs = a.times(x_true);
+  const auto x = cholesky_solve(a, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 1;  // indefinite
+  EXPECT_THROW(cholesky_solve(a, {1.0, 1.0}), PreconditionError);
+}
+
+TEST(Metrics, MseAndR2) {
+  const std::vector<double> actual = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_squared_error(actual, actual), 0.0);
+  EXPECT_DOUBLE_EQ(r_squared(actual, actual), 1.0);
+  const std::vector<double> off = {2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_squared_error(off, actual), 1.0);
+  EXPECT_LT(r_squared(off, actual), 1.0);
+}
+
+TEST(Dataset, AddAndSelect) {
+  Dataset d({"bias", "a", "b"});
+  d.add({1.0, 2.0, 3.0}, 0.5);
+  d.add({1.0, 4.0, 6.0}, 0.7);
+  EXPECT_EQ(d.size(), 2u);
+  const Dataset sel = d.select_features({0, 2});
+  EXPECT_EQ(sel.num_features(), 2u);
+  EXPECT_EQ(sel.feature_names()[1], "b");
+  EXPECT_DOUBLE_EQ(sel.example(1).features[1], 6.0);
+  EXPECT_DOUBLE_EQ(sel.example(1).label, 0.7);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Dataset d({"bias", "x"});
+  d.add({1.0, 2.5}, 0.25);
+  d.add({1.0, -1.5}, 0.75);
+  std::stringstream buf;
+  d.save_csv(buf);
+  const Dataset back = Dataset::load_csv(buf);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.feature_names(), d.feature_names());
+  EXPECT_DOUBLE_EQ(back.example(0).features[1], 2.5);
+  EXPECT_DOUBLE_EQ(back.example(1).label, 0.75);
+}
+
+TEST(Dataset, WidthMismatchThrows) {
+  Dataset d({"bias", "x"});
+  EXPECT_THROW(d.add({1.0}, 0.0), PreconditionError);
+}
+
+TEST(Ridge, RecoversExactLinearRelationship) {
+  // label = 0.3 + 0.5 * x with tiny lambda.
+  Dataset d({"bias", "x"});
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double() * 10;
+    d.add({1.0, x}, 0.3 + 0.5 * x);
+  }
+  const WeightVector w =
+      RidgeRegression::fit(d, {.lambda = 1e-8, .penalize_bias = false});
+  EXPECT_NEAR(w.weights[0], 0.3, 1e-5);
+  EXPECT_NEAR(w.weights[1], 0.5, 1e-6);
+  EXPECT_LT(RidgeRegression::evaluate_mse(w, d), 1e-10);
+  EXPECT_NEAR(RidgeRegression::evaluate_r2(w, d), 1.0, 1e-9);
+}
+
+TEST(Ridge, LargerLambdaShrinksWeights) {
+  Dataset d({"bias", "x"});
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_gaussian();
+    d.add({1.0, x}, 2.0 * x + 0.1 * rng.next_gaussian());
+  }
+  const WeightVector small =
+      RidgeRegression::fit(d, {.lambda = 1e-6, .penalize_bias = false});
+  const WeightVector big =
+      RidgeRegression::fit(d, {.lambda = 1e3, .penalize_bias = false});
+  EXPECT_LT(std::fabs(big.weights[1]), std::fabs(small.weights[1]));
+}
+
+TEST(Ridge, UnpenalizedBiasSurvivesLargeLambda) {
+  Dataset d({"bias", "x"});
+  Rng rng(61);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_gaussian();
+    d.add({1.0, x}, 5.0 + 0.01 * x);
+  }
+  const WeightVector w =
+      RidgeRegression::fit(d, {.lambda = 1e4, .penalize_bias = false});
+  // Slope is crushed, intercept is not.
+  EXPECT_NEAR(w.weights[0], 5.0, 0.05);
+  EXPECT_LT(std::fabs(w.weights[1]), 0.01);
+}
+
+TEST(Ridge, DegenerateConstantFeatureStillSolvable) {
+  // A duplicated/constant column makes X^T X singular; the regularization
+  // floor must keep the solve well-posed.
+  Dataset d({"bias", "zero"});
+  for (int i = 0; i < 50; ++i) d.add({1.0, 0.0}, 0.4);
+  const WeightVector w =
+      RidgeRegression::fit(d, {.lambda = 1e-3, .penalize_bias = false});
+  EXPECT_NEAR(w.weights[0], 0.4, 1e-6);
+}
+
+TEST(Ridge, WeightsFileRoundTrip) {
+  WeightVector w;
+  w.feature_names = {"bias", "x", "y"};
+  w.weights = {0.25, -1.5, 3.0};
+  w.lambda = 0.1;
+  std::stringstream buf;
+  w.save(buf);
+  const WeightVector back = WeightVector::load(buf);
+  EXPECT_EQ(back.feature_names, w.feature_names);
+  EXPECT_EQ(back.weights, w.weights);
+  EXPECT_DOUBLE_EQ(back.lambda, 0.1);
+}
+
+TEST(Ridge, WeightsFileRejectsGarbage) {
+  std::stringstream buf("not-a-weight-file at all");
+  EXPECT_THROW(WeightVector::load(buf), InputError);
+}
+
+TEST(Scaler, StandardizesColumns) {
+  Dataset d({"bias", "x"});
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i)
+    d.add({1.0, 5.0 + 2.0 * rng.next_gaussian()}, 0.0);
+  const StandardScaler s = StandardScaler::fit(d);
+  EXPECT_NEAR(s.means()[1], 5.0, 0.2);
+  EXPECT_NEAR(s.stddevs()[1], 2.0, 0.2);
+  // Bias column untouched.
+  EXPECT_DOUBLE_EQ(s.means()[0], 0.0);
+  EXPECT_DOUBLE_EQ(s.stddevs()[0], 1.0);
+  const Dataset t = s.transform(d);
+  RunningStat stat;
+  for (std::size_t i = 0; i < t.size(); ++i) stat.add(t.example(i).features[1]);
+  EXPECT_NEAR(stat.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(stat.stddev(), 1.0, 1e-9);
+}
+
+TEST(Scaler, FoldScalerMatchesScaledPrediction) {
+  Dataset d({"bias", "x", "y"});
+  Rng rng(10);
+  for (int i = 0; i < 300; ++i) {
+    const double x = 10 + 3 * rng.next_gaussian();
+    const double y = -2 + 0.5 * rng.next_gaussian();
+    d.add({1.0, x, y}, 0.1 * x - 0.4 * y + 1.0);
+  }
+  const StandardScaler s = StandardScaler::fit(d);
+  const Dataset scaled = s.transform(d);
+  const WeightVector w_scaled =
+      RidgeRegression::fit(scaled, {.lambda = 0.01, .penalize_bias = false});
+  const WeightVector w_raw = fold_scaler(w_scaled, s);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(w_raw.predict(d.example(i).features),
+                w_scaled.predict(scaled.example(i).features), 1e-9);
+  }
+}
+
+TEST(Tuning, PicksLambdaWithLowestValidationError) {
+  // Noisy training set, clean validation: moderate lambda should win over
+  // the extremes, and the reported best must match the grid minimum.
+  Dataset train({"bias", "x"});
+  Dataset val({"bias", "x"});
+  Rng rng(11);
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.next_gaussian();
+    train.add({1.0, x}, x + 2.0 * rng.next_gaussian());
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.next_gaussian();
+    val.add({1.0, x}, x);
+  }
+  const TuningResult result =
+      tune_lambda(train, val, default_lambda_grid());
+  ASSERT_EQ(result.validation_mse.size(), default_lambda_grid().size());
+  double best = result.validation_mse[0];
+  for (double mse : result.validation_mse) best = std::min(best, mse);
+  EXPECT_DOUBLE_EQ(result.best_validation_mse, best);
+  EXPECT_EQ(result.best.lambda, result.lambdas[static_cast<std::size_t>(
+      std::min_element(result.validation_mse.begin(),
+                       result.validation_mse.end()) -
+      result.validation_mse.begin())]);
+}
+
+}  // namespace
+}  // namespace dozz

@@ -1,0 +1,106 @@
+// Tests for the MLP regressor used in the model-choice ablation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/ml/mlp.hpp"
+#include "src/ml/ridge.hpp"
+#include "src/ml/scaler.hpp"
+
+namespace dozz {
+namespace {
+
+Dataset linear_data(int n, std::uint64_t seed, double noise = 0.0) {
+  Dataset d({"bias", "x", "y"});
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    const double y = rng.next_gaussian();
+    d.add({1.0, x, y}, 0.3 * x - 0.2 * y + 0.5 +
+                           noise * rng.next_gaussian());
+  }
+  return d;
+}
+
+Dataset quadratic_data(int n, std::uint64_t seed) {
+  // label = x^2 (clipped): linear models cannot fit this, an MLP can.
+  Dataset d({"bias", "x"});
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    d.add({1.0, x}, std::min(1.0, x * x));
+  }
+  return d;
+}
+
+TEST(Mlp, LearnsALinearFunction) {
+  const Dataset d = linear_data(2000, 7);
+  MlpRegressor mlp(d.num_features());
+  const double train_mse = mlp.fit(d);
+  EXPECT_LT(train_mse, 0.01);
+  EXPECT_LT(mlp.evaluate_mse(linear_data(500, 8)), 0.01);
+}
+
+TEST(Mlp, BeatsRidgeOnNonlinearTarget) {
+  const Dataset train = quadratic_data(3000, 11);
+  const Dataset test = quadratic_data(500, 12);
+
+  MlpOptions opts;
+  opts.epochs = 120;
+  MlpRegressor mlp(train.num_features(), opts);
+  mlp.fit(train);
+
+  const WeightVector ridge =
+      RidgeRegression::fit(train, {.lambda = 1e-3, .penalize_bias = false});
+
+  const double mlp_mse = mlp.evaluate_mse(test);
+  const double ridge_mse = RidgeRegression::evaluate_mse(ridge, test);
+  EXPECT_LT(mlp_mse, ridge_mse * 0.5);
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  const Dataset d = linear_data(500, 3);
+  MlpRegressor a(d.num_features());
+  MlpRegressor b(d.num_features());
+  a.fit(d);
+  b.fit(d);
+  const std::vector<double> x = {1.0, 0.4, -0.2};
+  EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+
+  MlpOptions other;
+  other.seed = 999;
+  MlpRegressor c(d.num_features(), other);
+  c.fit(d);
+  EXPECT_NE(a.predict(x), c.predict(x));
+}
+
+TEST(Mlp, MacCountReflectsArchitecture) {
+  MlpOptions opts;
+  opts.hidden_units = 16;
+  MlpRegressor mlp(5, opts);
+  EXPECT_EQ(mlp.macs_per_label(), 5 * 16 + 16);
+  // The paper's ridge needs only 5 — the MLP is ~19x more runtime work.
+  EXPECT_GT(mlp.macs_per_label(), 5 * 15);
+}
+
+TEST(Mlp, ValidatesInputs) {
+  EXPECT_THROW(MlpRegressor(0), PreconditionError);
+  MlpRegressor mlp(3);
+  EXPECT_THROW(mlp.predict({1.0}), PreconditionError);
+  Dataset wrong({"bias", "x"});
+  wrong.add({1.0, 2.0}, 0.5);
+  EXPECT_THROW(mlp.fit(wrong), PreconditionError);
+  Dataset empty({"bias", "x", "y"});
+  EXPECT_THROW(mlp.fit(empty), PreconditionError);
+}
+
+TEST(Mlp, UntrainedNetworkStillPredictsFinite) {
+  MlpRegressor mlp(4);
+  const double y = mlp.predict({1.0, 0.5, -0.5, 2.0});
+  EXPECT_TRUE(std::isfinite(y));
+}
+
+}  // namespace
+}  // namespace dozz

@@ -1,0 +1,153 @@
+// Tests for the event-observer facility and the pipeline-depth knob.
+#include <gtest/gtest.h>
+
+#include "src/core/policies.hpp"
+#include "src/noc/network.hpp"
+#include "src/power/power_model.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/trafficgen/patterns.hpp"
+
+namespace dozz {
+namespace {
+
+class RecordingObserver : public EventObserver {
+ public:
+  struct Delivery {
+    Tick now;
+    CoreId dst;
+  };
+  void on_packet_offered(Tick now, CoreId src, CoreId dst,
+                         bool is_response) override {
+    offered.push_back({now, src, dst, is_response});
+  }
+  void on_packet_delivered(Tick now, const Flit& tail) override {
+    delivered.push_back({now, tail.dst_core});
+  }
+  void on_gate_off(Tick now, RouterId r) override {
+    gate_offs.push_back({now, r});
+  }
+  void on_wakeup_begin(Tick now, RouterId r) override {
+    wakeups.push_back({now, r});
+  }
+  void on_mode_selected(Tick, RouterId, VfMode m) override {
+    modes.push_back(m);
+  }
+  void on_epoch_boundary(Tick now, std::uint64_t index) override {
+    epochs.push_back({now, index});
+  }
+
+  struct Offered {
+    Tick now;
+    CoreId src;
+    CoreId dst;
+    bool response;
+  };
+  std::vector<Offered> offered;
+  std::vector<Delivery> delivered;
+  std::vector<std::pair<Tick, RouterId>> gate_offs;
+  std::vector<std::pair<Tick, RouterId>> wakeups;
+  std::vector<VfMode> modes;
+  std::vector<std::pair<Tick, std::uint64_t>> epochs;
+};
+
+TEST(Observer, SeesOfferedAndDelivered) {
+  const Topology topo = make_mesh(4, 4);
+  NocConfig config;
+  config.auto_response = false;
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  BaselinePolicy policy;
+  Network net(topo, config, policy, power, regulator);
+  RecordingObserver obs;
+  net.set_observer(&obs);
+  Trace trace("one");
+  trace.add({2, 9, false, 10.0});
+  net.run(trace, 2000 * kBaselinePeriodTicks);
+
+  ASSERT_EQ(obs.offered.size(), 1u);
+  EXPECT_EQ(obs.offered[0].src, 2);
+  EXPECT_EQ(obs.offered[0].dst, 9);
+  EXPECT_FALSE(obs.offered[0].response);
+  ASSERT_EQ(obs.delivered.size(), 1u);
+  EXPECT_EQ(obs.delivered[0].dst, 9);
+  EXPECT_GT(obs.delivered[0].now, obs.offered[0].now);
+}
+
+TEST(Observer, GateAndWakePairUpInOrder) {
+  const Topology topo = make_mesh(4, 4);
+  NocConfig config;
+  config.auto_response = false;
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  PowerGatePolicy policy;
+  Network net(topo, config, policy, power, regulator);
+  RecordingObserver obs;
+  net.set_observer(&obs);
+  Trace trace("two-bursts");
+  trace.add({0, 3, false, 10.0});
+  trace.add({0, 3, false, 2000.0});
+  net.run(trace, 8000 * kBaselinePeriodTicks);
+
+  EXPECT_FALSE(obs.gate_offs.empty());
+  EXPECT_FALSE(obs.wakeups.empty());
+  // Every wakeup of a router must be preceded by its gate-off.
+  for (const auto& [wt, wr] : obs.wakeups) {
+    bool preceded = false;
+    for (const auto& [gt, gr] : obs.gate_offs)
+      if (gr == wr && gt < wt) preceded = true;
+    EXPECT_TRUE(preceded) << "router " << wr;
+  }
+  // Observer counts match the metrics.
+  EXPECT_EQ(obs.gate_offs.size(), net.metrics().gatings);
+  EXPECT_EQ(obs.wakeups.size(), net.metrics().wakeups);
+}
+
+TEST(Observer, EpochAndModeEvents) {
+  const Topology topo = make_mesh(4, 4);
+  NocConfig config;
+  config.epoch_cycles = 500;
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  WeightVector w;
+  w.feature_names = EpochFeatures::names();
+  w.weights = {0.0, 0.0, 0.0, 0.0, 1.0};
+  ProactiveMlPolicy policy(PolicyKind::kLeadTau, w, topo.num_routers());
+  Network net(topo, config, policy, power, regulator);
+  RecordingObserver obs;
+  net.set_observer(&obs);
+  Trace empty("empty");
+  net.run(empty, 2600 * kBaselinePeriodTicks);
+
+  // Boundaries at 500..2500 -> indices 0..4.
+  ASSERT_EQ(obs.epochs.size(), 5u);
+  EXPECT_EQ(obs.epochs[0].second, 0u);
+  EXPECT_EQ(obs.epochs[4].second, 4u);
+  // Every active router got a mode decision at every boundary.
+  EXPECT_EQ(obs.modes.size(), 5u * 16u);
+  for (VfMode m : obs.modes) EXPECT_EQ(m, VfMode::kV08);  // idle -> M3
+}
+
+TEST(PipelineDepth, DeeperPipelineAddsPerHopLatency) {
+  auto run_depth = [](int stages) {
+    const Topology topo = make_mesh(4, 4);
+    NocConfig config;
+    config.auto_response = false;
+    config.pipeline_stages = stages;
+    PowerModel power;
+    SimoLdoRegulator regulator;
+    BaselinePolicy policy;
+    Network net(topo, config, policy, power, regulator);
+    Trace trace("hop");
+    trace.add({0, 3, false, 10.0});  // 3 link hops
+    net.run(trace, 3000 * kBaselinePeriodTicks);
+    return net.metrics().packet_latency_ns.mean();
+  };
+  const double d1 = run_depth(1);
+  const double d3 = run_depth(3);
+  // Two extra stages per router over 4 router traversals at 2.25 GHz:
+  // about 8 extra cycles = ~3.6 ns.
+  EXPECT_NEAR(d3 - d1, 8.0 * 4.0 / 9.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dozz

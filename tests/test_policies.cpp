@@ -1,0 +1,171 @@
+// Unit tests for the five power-management policies and the ML units.
+#include <gtest/gtest.h>
+
+#include "src/common/error.hpp"
+#include "src/core/mode_select.hpp"
+#include "src/core/policies.hpp"
+
+namespace dozz {
+namespace {
+
+EpochFeatures features_with_ibu(double ibu) {
+  EpochFeatures f;
+  f.current_ibu = ibu;
+  return f;
+}
+
+/// Weights that pass feature 5 (current IBU) straight through, making
+/// "predicted future IBU" == "current IBU" for test determinism.
+WeightVector identity_weights() {
+  WeightVector w;
+  w.feature_names = EpochFeatures::names();
+  w.weights = {0.0, 0.0, 0.0, 0.0, 1.0};
+  return w;
+}
+
+TEST(PolicyKinds, NamesAndCapabilities) {
+  EXPECT_EQ(all_policy_kinds().size(), 5u);
+  EXPECT_EQ(policy_name(PolicyKind::kDozzNoc), "DozzNoC");
+  EXPECT_FALSE(policy_uses_ml(PolicyKind::kBaseline));
+  EXPECT_FALSE(policy_uses_ml(PolicyKind::kPowerGate));
+  EXPECT_TRUE(policy_uses_ml(PolicyKind::kLeadTau));
+  EXPECT_TRUE(policy_uses_ml(PolicyKind::kDozzNoc));
+  EXPECT_TRUE(policy_uses_ml(PolicyKind::kMlTurbo));
+  EXPECT_FALSE(policy_uses_gating(PolicyKind::kBaseline));
+  EXPECT_TRUE(policy_uses_gating(PolicyKind::kPowerGate));
+  EXPECT_FALSE(policy_uses_gating(PolicyKind::kLeadTau));
+  EXPECT_TRUE(policy_uses_gating(PolicyKind::kDozzNoc));
+  EXPECT_TRUE(policy_uses_gating(PolicyKind::kMlTurbo));
+}
+
+TEST(BaselinePolicy, AlwaysTopModeNoGating) {
+  BaselinePolicy p;
+  EXPECT_FALSE(p.gating_enabled());
+  EXPECT_FALSE(p.uses_ml());
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.0)), kTopMode);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(1.0)), kTopMode);
+  EXPECT_EQ(p.initial_mode(), kTopMode);
+}
+
+TEST(PowerGatePolicy, GatesButStaysAtTopMode) {
+  PowerGatePolicy p;
+  EXPECT_TRUE(p.gating_enabled());
+  EXPECT_FALSE(p.uses_ml());
+  EXPECT_EQ(p.select_mode(3, features_with_ibu(0.01)), kTopMode);
+}
+
+TEST(ReactivePolicy, MapsMeasuredIbuThroughThresholds) {
+  ReactiveDvfsPolicy p("reactive", false, false, 4);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.01)), VfMode::kV08);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.07)), VfMode::kV09);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), VfMode::kV10);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.22)), VfMode::kV11);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.50)), VfMode::kV12);
+  EXPECT_FALSE(p.uses_ml());
+}
+
+TEST(ReactivePolicy, TurboVariantForcesEveryThirdMidMode) {
+  ReactiveDvfsPolicy p("reactive-turbo", true, true, 4);
+  // IBU 0.15 maps to M5 (a mid mode).
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), VfMode::kV10);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), VfMode::kV10);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), kTopMode);  // 3rd
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), VfMode::kV10);
+}
+
+TEST(TurboRule, CountsOnlyMidModes) {
+  std::uint32_t count = 0;
+  EXPECT_EQ(apply_turbo_rule(VfMode::kV08, count), VfMode::kV08);
+  EXPECT_EQ(apply_turbo_rule(VfMode::kV12, count), VfMode::kV12);
+  EXPECT_EQ(count, 0u);  // extremes don't advance the counter
+  EXPECT_EQ(apply_turbo_rule(VfMode::kV09, count), VfMode::kV09);
+  EXPECT_EQ(apply_turbo_rule(VfMode::kV10, count), VfMode::kV10);
+  EXPECT_EQ(apply_turbo_rule(VfMode::kV11, count), kTopMode);
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(TurboRule, PerRouterCountersAreIndependent) {
+  ReactiveDvfsPolicy p("reactive-turbo", true, true, 2);
+  // Two mid predictions on router 0, then one on router 1: router 1's
+  // counter must not have been advanced by router 0.
+  p.select_mode(0, features_with_ibu(0.15));
+  p.select_mode(0, features_with_ibu(0.15));
+  EXPECT_EQ(p.select_mode(1, features_with_ibu(0.15)), VfMode::kV10);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), kTopMode);
+}
+
+TEST(LabelGenerate, DotProductAndClamp) {
+  WeightVector w;
+  w.feature_names = EpochFeatures::names();
+  w.weights = {0.1, 0.0, 0.0, 0.0, 2.0};
+  LabelGenerateUnit unit(w);
+  EXPECT_NEAR(unit.generate(features_with_ibu(0.2)), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(unit.generate(features_with_ibu(1.0)), 1.0);  // clamped
+  WeightVector neg;
+  neg.feature_names = EpochFeatures::names();
+  neg.weights = {-1.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(LabelGenerateUnit(neg).generate(features_with_ibu(0.0)),
+                   0.0);  // clamped at zero
+}
+
+TEST(LabelGenerate, RejectsWrongWidth) {
+  WeightVector w;
+  w.feature_names = {"bias"};
+  w.weights = {1.0};
+  EXPECT_THROW(LabelGenerateUnit{w}, PreconditionError);
+}
+
+TEST(ProactivePolicy, LeadTauDoesNotGate) {
+  ProactiveMlPolicy p(PolicyKind::kLeadTau, identity_weights(), 4);
+  EXPECT_FALSE(p.gating_enabled());
+  EXPECT_TRUE(p.uses_ml());
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), VfMode::kV10);
+}
+
+TEST(ProactivePolicy, DozzNocGatesAndSelects) {
+  ProactiveMlPolicy p(PolicyKind::kDozzNoc, identity_weights(), 4);
+  EXPECT_TRUE(p.gating_enabled());
+  EXPECT_EQ(p.select_mode(2, features_with_ibu(0.03)), VfMode::kV08);
+  EXPECT_EQ(p.select_mode(2, features_with_ibu(0.30)), VfMode::kV12);
+}
+
+TEST(ProactivePolicy, TurboKindAppliesForcing) {
+  ProactiveMlPolicy p(PolicyKind::kMlTurbo, identity_weights(), 4);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), VfMode::kV10);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), VfMode::kV10);
+  EXPECT_EQ(p.select_mode(0, features_with_ibu(0.15)), kTopMode);
+}
+
+TEST(ProactivePolicy, RejectsNonMlKind) {
+  EXPECT_THROW(
+      ProactiveMlPolicy(PolicyKind::kBaseline, identity_weights(), 4),
+      PreconditionError);
+}
+
+TEST(Factory, BuildsAllKinds) {
+  for (PolicyKind kind : all_policy_kinds()) {
+    if (policy_uses_ml(kind)) {
+      EXPECT_THROW(make_policy(kind, 4), PreconditionError);
+      auto p = make_policy(kind, 4, identity_weights());
+      EXPECT_EQ(p->name(), policy_name(kind));
+      EXPECT_EQ(p->gating_enabled(), policy_uses_gating(kind));
+    } else {
+      auto p = make_policy(kind, 4);
+      EXPECT_EQ(p->name(), policy_name(kind));
+    }
+  }
+}
+
+TEST(Factory, ReactiveTwinMirrorsGating) {
+  for (PolicyKind kind :
+       {PolicyKind::kLeadTau, PolicyKind::kDozzNoc, PolicyKind::kMlTurbo}) {
+    auto p = make_reactive_twin(kind, 4);
+    EXPECT_EQ(p->gating_enabled(), policy_uses_gating(kind));
+    EXPECT_FALSE(p->uses_ml());
+  }
+  EXPECT_THROW(make_reactive_twin(PolicyKind::kBaseline, 4),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dozz

@@ -1,0 +1,151 @@
+// Unit tests for the power model (paper Table V) and energy accountant.
+#include <gtest/gtest.h>
+
+#include "src/power/energy_accountant.hpp"
+#include "src/power/power_model.hpp"
+#include "src/regulator/simo_ldo.hpp"
+
+namespace dozz {
+namespace {
+
+TEST(PowerModel, TableVStaticPower) {
+  PowerModel pm;
+  EXPECT_DOUBLE_EQ(pm.static_power_w(VfMode::kV08), 0.036);
+  EXPECT_DOUBLE_EQ(pm.static_power_w(VfMode::kV09), 0.041);
+  EXPECT_DOUBLE_EQ(pm.static_power_w(VfMode::kV10), 0.045);
+  EXPECT_DOUBLE_EQ(pm.static_power_w(VfMode::kV11), 0.050);
+  EXPECT_DOUBLE_EQ(pm.static_power_w(VfMode::kV12), 0.054);
+}
+
+TEST(PowerModel, TableVDynamicEnergy) {
+  PowerModel pm;
+  EXPECT_DOUBLE_EQ(pm.cost(VfMode::kV08).dynamic_energy_pj, 25.1);
+  EXPECT_DOUBLE_EQ(pm.cost(VfMode::kV12).dynamic_energy_pj, 56.5);
+  EXPECT_DOUBLE_EQ(pm.hop_energy_j(VfMode::kV10), 39.2e-12);
+}
+
+TEST(PowerModel, NormalizedColumnIsVoltageRatio) {
+  // Table V's "Static Power (Cycle)" column equals V / 1.2 V.
+  PowerModel pm;
+  for (VfMode m : all_vf_modes()) {
+    EXPECT_NEAR(pm.cost(m).static_power_rel, vf_point(m).voltage_v / 1.2, 2e-3)
+        << mode_name(m);
+  }
+}
+
+TEST(PowerModel, CostsMonotoneInVoltage) {
+  PowerModel pm;
+  for (int i = 1; i < kNumVfModes; ++i) {
+    EXPECT_LT(pm.static_power_w(mode_from_index(i - 1)),
+              pm.static_power_w(mode_from_index(i)));
+    EXPECT_LT(pm.cost(mode_from_index(i - 1)).dynamic_energy_pj,
+              pm.cost(mode_from_index(i)).dynamic_energy_pj);
+  }
+}
+
+TEST(MlOverhead, PaperFiveFeatureNumbers) {
+  MlOverheadModel ml(5);
+  EXPECT_EQ(ml.multiplies_per_label(), 5);
+  EXPECT_EQ(ml.adds_per_label(), 4);
+  EXPECT_NEAR(ml.label_energy_j(), 7.1e-12, 1e-15);     // 7.1 pJ
+  EXPECT_NEAR(ml.area_mm2(), 0.013, 1e-3);              // 0.013 mm^2
+  EXPECT_LE(ml.label_latency_cycles(), 4);
+}
+
+TEST(MlOverhead, PaperFortyOneFeatureNumbers) {
+  MlOverheadModel ml(41);
+  // Paper: 61.1 pJ and 0.122 mm^2 for the original 41-feature set.
+  EXPECT_NEAR(ml.label_energy_j(), 61.1e-12, 1e-13);
+  EXPECT_NEAR(ml.area_mm2(), 0.122, 2e-3);
+}
+
+struct AccountantFixture {
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  MlOverheadModel ml{5};
+  EnergyAccountant acc{power, regulator, ml};
+};
+
+TEST(EnergyAccountant, StaticIntegration) {
+  AccountantFixture f;
+  // 1 us active at M7: 0.054 W * 1e-6 s.
+  f.acc.add_state_time(PowerState::kActive, kTopMode, ticks_from_ns(1000.0));
+  EXPECT_NEAR(f.acc.static_energy_j(), 0.054e-6, 1e-12);
+  EXPECT_EQ(f.acc.active_ticks(), ticks_from_ns(1000.0));
+}
+
+TEST(EnergyAccountant, InactiveCostsNothing) {
+  AccountantFixture f;
+  f.acc.add_state_time(PowerState::kInactive, kTopMode, ticks_from_ns(500.0));
+  EXPECT_DOUBLE_EQ(f.acc.static_energy_j(), 0.0);
+  EXPECT_EQ(f.acc.inactive_ticks(), ticks_from_ns(500.0));
+  EXPECT_DOUBLE_EQ(f.acc.off_fraction(), 1.0);
+}
+
+TEST(EnergyAccountant, WakeupChargedAtActiveLevel) {
+  AccountantFixture f;
+  f.acc.add_state_time(PowerState::kWakeup, VfMode::kV08, ticks_from_ns(100.0));
+  EXPECT_NEAR(f.acc.static_energy_j(), 0.036 * 100e-9, 1e-15);
+  EXPECT_EQ(f.acc.wakeup_ticks(), ticks_from_ns(100.0));
+}
+
+TEST(EnergyAccountant, HopsAccumulate) {
+  AccountantFixture f;
+  f.acc.add_hop(VfMode::kV08);
+  f.acc.add_hop(VfMode::kV12);
+  EXPECT_EQ(f.acc.hops(), 2u);
+  EXPECT_NEAR(f.acc.dynamic_energy_j(), (25.1 + 56.5) * 1e-12, 1e-18);
+}
+
+TEST(EnergyAccountant, WallEnergyExceedsRouterEnergy) {
+  AccountantFixture f;
+  f.acc.add_state_time(PowerState::kActive, VfMode::kV08, ticks_from_ns(1000.0));
+  f.acc.add_hop(VfMode::kV08);
+  EXPECT_GT(f.acc.wall_static_energy_j(), f.acc.static_energy_j());
+  EXPECT_GT(f.acc.wall_dynamic_energy_j(), f.acc.dynamic_energy_j());
+  // Regulator chain is >87% efficient, so the overhead is bounded.
+  EXPECT_LT(f.acc.wall_static_energy_j(), f.acc.static_energy_j() / 0.87);
+}
+
+TEST(EnergyAccountant, LabelsChargeMlEnergy) {
+  AccountantFixture f;
+  f.acc.add_label();
+  f.acc.add_label();
+  EXPECT_EQ(f.acc.labels(), 2u);
+  EXPECT_NEAR(f.acc.ml_energy_j(), 2 * 7.1e-12, 1e-15);
+  EXPECT_NEAR(f.acc.total_energy_j(), f.acc.ml_energy_j(), 1e-18);
+}
+
+TEST(EnergyAccountant, MergeAddsEverything) {
+  AccountantFixture f;
+  EnergyAccountant a{f.power, f.regulator, f.ml};
+  EnergyAccountant b{f.power, f.regulator, f.ml};
+  a.add_state_time(PowerState::kActive, kTopMode, 1000);
+  a.add_hop(kTopMode);
+  b.add_state_time(PowerState::kInactive, kTopMode, 3000);
+  b.add_label();
+  a.merge(b);
+  EXPECT_EQ(a.accounted_ticks(), 4000u);
+  EXPECT_EQ(a.hops(), 1u);
+  EXPECT_EQ(a.labels(), 1u);
+  EXPECT_DOUBLE_EQ(a.off_fraction(), 0.75);
+}
+
+TEST(EnergyAccountant, ResetClears) {
+  AccountantFixture f;
+  f.acc.add_state_time(PowerState::kActive, kTopMode, 1000);
+  f.acc.add_hop(kTopMode);
+  f.acc.reset();
+  EXPECT_DOUBLE_EQ(f.acc.total_energy_j(), 0.0);
+  EXPECT_EQ(f.acc.accounted_ticks(), 0u);
+  EXPECT_EQ(f.acc.hops(), 0u);
+}
+
+TEST(EnergyAccountant, ZeroDurationIsNoOp) {
+  AccountantFixture f;
+  f.acc.add_state_time(PowerState::kActive, kTopMode, 0);
+  EXPECT_EQ(f.acc.accounted_ticks(), 0u);
+}
+
+}  // namespace
+}  // namespace dozz

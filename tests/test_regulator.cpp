@@ -1,0 +1,216 @@
+// Unit tests for the SIMO/LDO regulator model: paper Tables I-III, the
+// Fig. 5 transient waveforms and the Fig. 6 efficiency curves.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/regulator/transient.hpp"
+#include "src/regulator/vf_mode.hpp"
+
+namespace dozz {
+namespace {
+
+TEST(VfMode, TableOfOperatingPoints) {
+  EXPECT_DOUBLE_EQ(vf_point(VfMode::kV08).voltage_v, 0.8);
+  EXPECT_DOUBLE_EQ(vf_point(VfMode::kV08).frequency_ghz, 1.0);
+  EXPECT_EQ(vf_point(VfMode::kV08).period_ticks, 9000u);
+  EXPECT_DOUBLE_EQ(vf_point(VfMode::kV12).voltage_v, 1.2);
+  EXPECT_DOUBLE_EQ(vf_point(VfMode::kV12).frequency_ghz, 2.25);
+  EXPECT_EQ(vf_point(VfMode::kV12).period_ticks, 4000u);
+}
+
+TEST(VfMode, PeriodsMatchFrequencies) {
+  for (VfMode m : all_vf_modes()) {
+    const VfPoint& p = vf_point(m);
+    // period_ticks * f = 9000 ticks/ns / GHz
+    EXPECT_NEAR(static_cast<double>(p.period_ticks) * p.frequency_ghz, 9000.0,
+                1e-9)
+        << mode_name(m);
+  }
+}
+
+TEST(VfMode, PaperNumbering) {
+  EXPECT_EQ(mode_number(VfMode::kV08), 3);
+  EXPECT_EQ(mode_number(VfMode::kV12), 7);
+  for (int n = 3; n <= 7; ++n) EXPECT_EQ(mode_number(mode_from_number(n)), n);
+  EXPECT_THROW(mode_from_number(2), PreconditionError);
+  EXPECT_THROW(mode_from_number(8), PreconditionError);
+}
+
+TEST(VfMode, Labels) {
+  EXPECT_EQ(mode_label(VfMode::kV10), "M5");
+  EXPECT_EQ(mode_name(VfMode::kV10), "M5 (1.0V/1.80GHz)");
+}
+
+TEST(SimoLdo, TableIIWakeupLatencies) {
+  SimoLdoRegulator reg;
+  EXPECT_DOUBLE_EQ(reg.wakeup_latency_ns(VfMode::kV08), 8.5);
+  EXPECT_DOUBLE_EQ(reg.wakeup_latency_ns(VfMode::kV09), 8.7);
+  EXPECT_DOUBLE_EQ(reg.wakeup_latency_ns(VfMode::kV12), 8.8);
+  EXPECT_DOUBLE_EQ(reg.worst_wakeup_latency_ns(), 8.8);  // paper: 8.80 ns
+}
+
+TEST(SimoLdo, TableIISwitchLatencies) {
+  SimoLdoRegulator reg;
+  EXPECT_DOUBLE_EQ(reg.switch_latency_ns(VfMode::kV08, VfMode::kV09), 4.2);
+  EXPECT_DOUBLE_EQ(reg.switch_latency_ns(VfMode::kV12, VfMode::kV08), 6.9);
+  EXPECT_DOUBLE_EQ(reg.switch_latency_ns(VfMode::kV10, VfMode::kV11), 4.3);
+  EXPECT_DOUBLE_EQ(reg.worst_switch_latency_ns(), 6.9);  // paper: 6.9 ns
+  for (VfMode m : all_vf_modes())
+    EXPECT_DOUBLE_EQ(reg.switch_latency_ns(m, m), 0.0);
+}
+
+TEST(SimoLdo, GatingIsImmediate) {
+  SimoLdoRegulator reg;
+  for (VfMode m : all_vf_modes()) EXPECT_DOUBLE_EQ(reg.gate_latency_ns(m), 0.0);
+}
+
+TEST(SimoLdo, TableIIICycleCosts) {
+  SimoLdoRegulator reg;
+  EXPECT_EQ(reg.cycle_costs(VfMode::kV08).t_switch_cycles, 7);
+  EXPECT_EQ(reg.cycle_costs(VfMode::kV08).t_wakeup_cycles, 9);
+  EXPECT_EQ(reg.cycle_costs(VfMode::kV08).t_breakeven_cycles, 8);
+  EXPECT_EQ(reg.cycle_costs(VfMode::kV12).t_switch_cycles, 16);
+  EXPECT_EQ(reg.cycle_costs(VfMode::kV12).t_wakeup_cycles, 18);
+  EXPECT_EQ(reg.cycle_costs(VfMode::kV12).t_breakeven_cycles, 12);
+}
+
+TEST(SimoLdo, CycleCostsMonotoneInMode) {
+  SimoLdoRegulator reg;
+  for (int i = 1; i < kNumVfModes; ++i) {
+    const auto& lo = reg.cycle_costs(mode_from_index(i - 1));
+    const auto& hi = reg.cycle_costs(mode_from_index(i));
+    EXPECT_LT(lo.t_switch_cycles, hi.t_switch_cycles);
+    EXPECT_LT(lo.t_wakeup_cycles, hi.t_wakeup_cycles);
+    EXPECT_LT(lo.t_breakeven_cycles, hi.t_breakeven_cycles);
+  }
+}
+
+TEST(SimoLdo, PenaltyTicksScaleWithPeriod) {
+  SimoLdoRegulator reg;
+  // 9 cycles at 1 GHz = 9 ns = 81000 ticks.
+  EXPECT_EQ(reg.wakeup_penalty_ticks(VfMode::kV08), 9u * 9000u);
+  // 18 cycles at 2.25 GHz = 8 ns = 72000 ticks.
+  EXPECT_EQ(reg.wakeup_penalty_ticks(VfMode::kV12), 18u * 4000u);
+  EXPECT_EQ(reg.switch_penalty_ticks(VfMode::kV12), 16u * 4000u);
+  EXPECT_EQ(reg.breakeven_ticks(VfMode::kV08), 8u * 9000u);
+}
+
+TEST(SimoLdo, TableIRailSelection) {
+  SimoLdoRegulator reg;
+  EXPECT_EQ(reg.rail_for(0.8), Rail::kRail09);
+  EXPECT_EQ(reg.rail_for(0.9), Rail::kRail09);
+  EXPECT_EQ(reg.rail_for(1.0), Rail::kRail11);
+  EXPECT_EQ(reg.rail_for(1.1), Rail::kRail11);
+  EXPECT_EQ(reg.rail_for(1.2), Rail::kRail12);
+  EXPECT_EQ(reg.rail_for(0.0), Rail::kGround);
+}
+
+TEST(SimoLdo, TableIDropoutAtMostHundredMillivolts) {
+  // Table I covers the output ranges 0.8-0.9 V (rail 0.9), 1.0-1.1 V
+  // (rail 1.1) and 1.2 V (rail 1.2); within those, dropout is 0-100 mV.
+  SimoLdoRegulator reg;
+  for (double v = 0.80; v <= 0.901; v += 0.01) {
+    EXPECT_GE(reg.dropout_v(v), -1e-12);
+    EXPECT_LE(reg.dropout_v(v), 0.1 + 1e-9) << "at " << v;
+  }
+  for (double v = 1.00; v <= 1.101; v += 0.01) {
+    EXPECT_GE(reg.dropout_v(v), -1e-12);
+    EXPECT_LE(reg.dropout_v(v), 0.1 + 1e-9) << "at " << v;
+  }
+  EXPECT_NEAR(reg.dropout_v(0.8), 0.1, 1e-12);
+  EXPECT_NEAR(reg.dropout_v(1.2), 0.0, 1e-12);
+  // All five operating points satisfy the 100 mV bound.
+  for (VfMode m : all_vf_modes())
+    EXPECT_LE(reg.dropout_v(vf_point(m).voltage_v), 0.1 + 1e-9);
+}
+
+TEST(SimoLdo, Fig6EfficiencyAboveEightySeven) {
+  SimoLdoRegulator reg;
+  for (VfMode m : all_vf_modes())
+    EXPECT_GT(reg.simo_efficiency(m), 0.87) << mode_name(m);
+}
+
+TEST(SimoLdo, Fig6AverageImprovementAroundFifteenPercent) {
+  SimoLdoRegulator reg;
+  // Paper: ~15% average improvement at four comparison points, max ~25%
+  // at 0.9 V.
+  double sum = 0.0;
+  for (double v : {0.8, 0.9, 1.0, 1.1})
+    sum += reg.simo_efficiency(v) - reg.baseline_efficiency(v);
+  EXPECT_NEAR(sum / 4.0, 0.15, 0.05);
+  const double at09 = reg.simo_efficiency(0.9) - reg.baseline_efficiency(0.9);
+  EXPECT_NEAR(at09, 0.25, 0.05);
+}
+
+TEST(SimoLdo, BaselineLdoEfficiencyMatchesPaperExamples) {
+  SimoLdoRegulator reg;
+  // Paper §II: an LDO scaled from 1.1 V... at 0.8 V out of a 1.2 V rail the
+  // efficiency is ~67%.
+  EXPECT_NEAR(reg.baseline_efficiency(0.8), 0.667, 0.01);
+  EXPECT_NEAR(reg.baseline_efficiency(1.2), 1.0, 0.01);
+}
+
+TEST(SimoLdo, FewerPowerSwitches) {
+  SimoLdoRegulator reg;
+  EXPECT_EQ(reg.power_switch_count(), 5);
+  EXPECT_EQ(reg.baseline_power_switch_count(), 6);
+}
+
+TEST(Transient, WakeupSettlesToTarget) {
+  SimoLdoRegulator reg;
+  const auto w = TransientWaveform::wakeup(reg, VfMode::kV08);
+  EXPECT_DOUBLE_EQ(w.start_voltage(), 0.0);
+  EXPECT_DOUBLE_EQ(w.target_voltage(), 0.8);
+  EXPECT_DOUBLE_EQ(w.voltage_at(0.0), 0.0);
+  EXPECT_NEAR(w.voltage_at(100.0), 0.8, 1e-3);
+}
+
+TEST(Transient, SettlingTimeMatchesTableII) {
+  SimoLdoRegulator reg;
+  const auto w = TransientWaveform::wakeup(reg, VfMode::kV08);
+  // 2% of the 0.8 V step = 16 mV band; calibrated to settle at 8.5 ns.
+  EXPECT_NEAR(w.settling_time_ns(0.016), 8.5, 0.05);
+}
+
+TEST(Transient, DvfsSwitchShowsOvershoot) {
+  SimoLdoRegulator reg;
+  const auto w = TransientWaveform::dvfs_switch(reg, VfMode::kV08, VfMode::kV12);
+  double peak = 0.0;
+  for (const auto& s : w.sample(20.0, 2000)) peak = std::max(peak, s.voltage_v);
+  EXPECT_GT(peak, 1.2);        // slight overshoot (paper accounts for it)
+  EXPECT_LT(peak, 1.2 + 0.1);  // but bounded
+}
+
+TEST(Transient, DownSwitchUndershootsBounded) {
+  SimoLdoRegulator reg;
+  const auto w = TransientWaveform::dvfs_switch(reg, VfMode::kV12, VfMode::kV08);
+  double trough = 10.0;
+  for (const auto& s : w.sample(20.0, 2000))
+    trough = std::min(trough, s.voltage_v);
+  EXPECT_LT(trough, 0.8);
+  EXPECT_GE(trough, 0.0);  // never below ground
+}
+
+TEST(Transient, SampleCountAndRange) {
+  TransientWaveform w(0.0, 1.0, 5.0);
+  const auto samples = w.sample(10.0, 101);
+  ASSERT_EQ(samples.size(), 101u);
+  EXPECT_DOUBLE_EQ(samples.front().time_ns, 0.0);
+  EXPECT_DOUBLE_EQ(samples.back().time_ns, 10.0);
+}
+
+TEST(Transient, MonotoneEnvelopeDecay) {
+  // The response must converge: later samples stay within a shrinking band.
+  TransientWaveform w(0.8, 1.2, 6.7);
+  const double err_early = std::fabs(w.voltage_at(2.0) - 1.2);
+  const double err_late = std::fabs(w.voltage_at(30.0) - 1.2);
+  EXPECT_LT(err_late, err_early);
+  EXPECT_LT(err_late, 1e-4);
+}
+
+}  // namespace
+}  // namespace dozz

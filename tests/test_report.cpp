@@ -1,0 +1,99 @@
+// Tests for the JSON/text report module.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/sim/report.hpp"
+
+namespace dozz {
+namespace {
+
+NetworkMetrics sample_metrics() {
+  NetworkMetrics m;
+  m.packets_offered = 10;
+  m.packets_delivered = 10;
+  m.flits_delivered = 50;
+  m.sim_ticks = ticks_from_ns(1000.0);
+  m.static_energy_j = 2e-6;
+  m.dynamic_energy_j = 1e-6;
+  m.gatings = 3;
+  m.wakeups = 2;
+  m.off_time_fraction = 0.5;
+  m.packet_latency_ns.add(10.0);
+  m.packet_latency_ns.add(20.0);
+  m.state_fractions[0] = 0.5;
+  m.state_fractions[6] = 0.5;
+  m.epoch_mode_counts[0] = 7;
+  return m;
+}
+
+TEST(Report, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Report, MetricsJsonContainsKeyFields) {
+  const std::string json = metrics_to_json(sample_metrics());
+  EXPECT_NE(json.find("\"packets_delivered\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"flits_delivered\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_ns\":1000"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_mean_ns\":15"), std::string::npos);
+  EXPECT_NE(json.find("\"off_time_fraction\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"state_fractions\":[0.5,0,0,0,0,0,0.5]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"epoch_mode_counts\":[7,0,0,0,0]"),
+            std::string::npos);
+  // Balanced braces / brackets (a cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, OutcomeJsonWrapsPolicyAndTrace) {
+  RunOutcome o;
+  o.policy = "DozzNoC";
+  o.trace = "x264 \"compressed\"";
+  o.metrics = sample_metrics();
+  const std::string json = outcome_to_json(o);
+  EXPECT_NE(json.find("\"policy\":\"DozzNoC\""), std::string::npos);
+  EXPECT_NE(json.find("x264 \\\"compressed\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+}
+
+TEST(Report, TextReportMentionsEssentials) {
+  RunOutcome o;
+  o.policy = "PG";
+  o.trace = "lu";
+  o.metrics = sample_metrics();
+  std::ostringstream out;
+  write_text_report(out, o);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("policy: PG"), std::string::npos);
+  EXPECT_NE(text.find("delivered 10/10"), std::string::npos);
+  EXPECT_NE(text.find("3 gatings"), std::string::npos);
+}
+
+TEST(Report, ComparisonComputesSavings) {
+  RunOutcome base;
+  base.policy = "Baseline";
+  base.metrics = sample_metrics();
+  RunOutcome run;
+  run.policy = "DozzNoC";
+  run.metrics = sample_metrics();
+  run.metrics.static_energy_j = 1e-6;   // 50% savings
+  run.metrics.dynamic_energy_j = 0.8e-6;
+  std::ostringstream out;
+  write_comparison_report(out, base, run);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("static savings:  50"), std::string::npos);
+  EXPECT_NE(text.find("dynamic savings: 20"), std::string::npos);
+  EXPECT_NE(text.find("EDP ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dozz

@@ -1,0 +1,240 @@
+// Unit tests for traces, synthetic patterns and the 14 benchmark profiles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+#include "src/trafficgen/patterns.hpp"
+#include "src/trafficgen/trace.hpp"
+
+namespace dozz {
+namespace {
+
+TEST(Trace, SortAndDuration) {
+  Trace t("t");
+  t.add({0, 1, false, 30.0});
+  t.add({1, 2, false, 10.0});
+  t.sort_by_time();
+  EXPECT_DOUBLE_EQ(t[0].inject_ns, 10.0);
+  EXPECT_DOUBLE_EQ(t.duration_ns(), 30.0);
+}
+
+TEST(Trace, CompressionScalesTimes) {
+  Trace t("t");
+  t.add({0, 1, false, 100.0});
+  t.add({0, 1, false, 200.0});
+  const Trace c = t.compressed(0.25);
+  EXPECT_DOUBLE_EQ(c[0].inject_ns, 25.0);
+  EXPECT_DOUBLE_EQ(c[1].inject_ns, 50.0);
+  EXPECT_EQ(c.size(), 2u);
+  // Offered load quadruples.
+  EXPECT_NEAR(c.offered_load_pkts_per_core_us(4),
+              4.0 * t.offered_load_pkts_per_core_us(4), 1e-9);
+}
+
+TEST(Trace, FileRoundTrip) {
+  Trace t("roundtrip");
+  t.add({3, 9, false, 1.5});
+  t.add({9, 3, true, 2.5});
+  std::stringstream buf;
+  t.save(buf);
+  const Trace back = Trace::load(buf);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.name(), "roundtrip");
+  EXPECT_EQ(back[0].src, 3);
+  EXPECT_EQ(back[0].dst, 9);
+  EXPECT_FALSE(back[0].is_response);
+  EXPECT_TRUE(back[1].is_response);
+  EXPECT_DOUBLE_EQ(back[1].inject_ns, 2.5);
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::stringstream buf("bogus header\n");
+  EXPECT_THROW(Trace::load(buf), InputError);
+}
+
+TEST(Trace, InjectTickConversion) {
+  TraceEntry e{0, 1, false, 2.0};
+  EXPECT_EQ(e.inject_tick(), 2u * kTicksPerNs);
+}
+
+TEST(Patterns, UniformNeverSelf) {
+  Rng rng(1);
+  auto p = uniform_pattern(16);
+  for (int i = 0; i < 2000; ++i) {
+    const CoreId d = p(5, rng);
+    EXPECT_NE(d, 5);
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 16);
+  }
+}
+
+TEST(Patterns, UniformCoversAllDestinations) {
+  Rng rng(2);
+  auto p = uniform_pattern(8);
+  std::set<CoreId> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(p(0, rng));
+  EXPECT_EQ(seen.size(), 7u);  // everyone but the source
+}
+
+TEST(Patterns, TransposeMapsGridCoordinates) {
+  const Topology mesh = make_mesh(4, 4);
+  Rng rng(3);
+  auto p = transpose_pattern(mesh);
+  // Core at router (1, 2) -> router (2, 1).
+  const CoreId src = mesh.core_at(mesh.router_at(1, 2), 0);
+  const CoreId dst = p(src, rng);
+  EXPECT_EQ(mesh.router_of_core(dst), mesh.router_at(2, 1));
+}
+
+TEST(Patterns, BitComplement) {
+  Rng rng(4);
+  auto p = bit_complement_pattern(64);
+  EXPECT_EQ(p(0, rng), 63);
+  EXPECT_EQ(p(21, rng), 42);
+  EXPECT_THROW(bit_complement_pattern(60), PreconditionError);
+}
+
+TEST(Patterns, HotspotFractionRespected) {
+  Rng rng(5);
+  auto p = hotspot_pattern(64, {7}, 0.5);
+  int hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (p(0, rng) == 7) ++hot;
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.5, 0.02);
+}
+
+TEST(Patterns, NeighborIsOneHop) {
+  const Topology mesh = make_mesh(4, 4);
+  Rng rng(6);
+  auto p = neighbor_pattern(mesh);
+  for (int i = 0; i < 500; ++i) {
+    const CoreId src = static_cast<CoreId>(rng.next_below(16));
+    const CoreId dst = p(src, rng);
+    EXPECT_EQ(mesh.hop_count(mesh.router_of_core(src),
+                             mesh.router_of_core(dst)),
+              1);
+  }
+}
+
+TEST(Patterns, TornadoHalfway) {
+  const Topology mesh = make_mesh(8, 8);
+  Rng rng(7);
+  auto p = tornado_pattern(mesh);
+  const CoreId src = mesh.core_at(mesh.router_at(1, 3), 0);
+  const CoreId dst = p(src, rng);
+  EXPECT_EQ(mesh.router_of_core(dst), mesh.router_at(5, 3));
+}
+
+TEST(Patterns, RegistryKnowsAllNames) {
+  const Topology mesh = make_mesh(4, 4);
+  for (const char* name :
+       {"uniform", "transpose", "bitcomp", "hotspot", "neighbor", "tornado"}) {
+    EXPECT_NO_THROW(pattern_by_name(name, mesh)) << name;
+  }
+  EXPECT_THROW(pattern_by_name("nope", mesh), InputError);
+}
+
+TEST(Patterns, SyntheticTraceRateMatches) {
+  const Topology mesh = make_mesh(4, 4);
+  const double rate = 0.02;
+  const std::uint64_t cycles = 20000;
+  const Trace t = generate_synthetic_trace(
+      mesh, uniform_pattern(mesh.num_cores()), rate, cycles, 11);
+  const double expected =
+      rate * static_cast<double>(cycles) * mesh.num_cores();
+  EXPECT_NEAR(static_cast<double>(t.size()), expected, expected * 0.1);
+  // Entries sorted by time.
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_LE(t[i - 1].inject_ns, t[i].inject_ns);
+}
+
+TEST(Benchmarks, FourteenProfilesWithStandardSplit) {
+  EXPECT_EQ(benchmark_profiles().size(), 14u);
+  EXPECT_EQ(training_benchmarks().size(), 6u);
+  EXPECT_EQ(validation_benchmarks().size(), 3u);
+  EXPECT_EQ(test_benchmarks().size(), 5u);
+  // The splits are disjoint and cover all 14.
+  std::set<std::string> all;
+  for (const auto& n : training_benchmarks()) all.insert(n);
+  for (const auto& n : validation_benchmarks()) all.insert(n);
+  for (const auto& n : test_benchmarks()) all.insert(n);
+  EXPECT_EQ(all.size(), 14u);
+}
+
+TEST(Benchmarks, LookupByName) {
+  EXPECT_EQ(benchmark_profile("fft").name, "fft");
+  EXPECT_THROW(benchmark_profile("doom"), InputError);
+}
+
+TEST(Benchmarks, TraceGenerationDeterministic) {
+  const Topology mesh = make_mesh(4, 4);
+  const auto& p = benchmark_profile("bodytrack");
+  const Trace a = generate_benchmark_trace(p, mesh, 10000);
+  const Trace b = generate_benchmark_trace(p, mesh, 10000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_DOUBLE_EQ(a[i].inject_ns, b[i].inject_ns);
+  }
+}
+
+TEST(Benchmarks, SeedSaltChangesTrace) {
+  const Topology mesh = make_mesh(4, 4);
+  const auto& p = benchmark_profile("bodytrack");
+  const Trace a = generate_benchmark_trace(p, mesh, 10000, 0);
+  const Trace b = generate_benchmark_trace(p, mesh, 10000, 1);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(Benchmarks, TracesAreValidAndSorted) {
+  const Topology mesh = make_mesh(8, 8);
+  for (const auto& profile : benchmark_profiles()) {
+    const Trace t = generate_benchmark_trace(profile, mesh, 5000);
+    EXPECT_GT(t.size(), 0u) << profile.name;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXPECT_GE(t[i].src, 0);
+      EXPECT_LT(t[i].src, mesh.num_cores());
+      EXPECT_GE(t[i].dst, 0);
+      EXPECT_LT(t[i].dst, mesh.num_cores());
+      EXPECT_NE(t[i].src, t[i].dst);
+      EXPECT_FALSE(t[i].is_response);
+      if (i > 0) {
+        EXPECT_LE(t[i - 1].inject_ns, t[i].inject_ns);
+      }
+    }
+  }
+}
+
+TEST(Benchmarks, LoadOrderingMatchesProfiles) {
+  // canneal is configured heavier than blackscholes; the generated traces
+  // must reflect that.
+  const Topology mesh = make_mesh(8, 8);
+  const Trace heavy =
+      generate_benchmark_trace(benchmark_profile("canneal"), mesh, 20000);
+  const Trace light =
+      generate_benchmark_trace(benchmark_profile("blackscholes"), mesh, 20000);
+  EXPECT_GT(heavy.size(), 3 * light.size());
+}
+
+TEST(Benchmarks, HotspotHeavyProfileConcentratesTraffic) {
+  const Topology mesh = make_mesh(8, 8);
+  const Trace t =
+      generate_benchmark_trace(benchmark_profile("radix"), mesh, 20000);
+  // radix sends 40% of requests to the 4 corner cores.
+  std::size_t corner = 0;
+  const std::set<CoreId> corners = {0, 7, 56, 63};
+  for (const auto& e : t.entries())
+    if (corners.count(e.dst)) ++corner;
+  const double fraction = static_cast<double>(corner) /
+                          static_cast<double>(t.size());
+  EXPECT_GT(fraction, 0.3);
+}
+
+}  // namespace
+}  // namespace dozz
