@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cmesh_summary"
+  "../bench/bench_cmesh_summary.pdb"
+  "CMakeFiles/bench_cmesh_summary.dir/bench_cmesh_summary.cpp.o"
+  "CMakeFiles/bench_cmesh_summary.dir/bench_cmesh_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmesh_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

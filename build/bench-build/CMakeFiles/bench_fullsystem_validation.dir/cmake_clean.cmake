@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fullsystem_validation"
+  "../bench/bench_fullsystem_validation.pdb"
+  "CMakeFiles/bench_fullsystem_validation.dir/bench_fullsystem_validation.cpp.o"
+  "CMakeFiles/bench_fullsystem_validation.dir/bench_fullsystem_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fullsystem_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

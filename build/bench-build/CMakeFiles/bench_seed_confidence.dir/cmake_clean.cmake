@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_seed_confidence"
+  "../bench/bench_seed_confidence.pdb"
+  "CMakeFiles/bench_seed_confidence.dir/bench_seed_confidence.cpp.o"
+  "CMakeFiles/bench_seed_confidence.dir/bench_seed_confidence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_seed_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

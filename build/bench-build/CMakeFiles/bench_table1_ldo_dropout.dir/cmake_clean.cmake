@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_ldo_dropout"
+  "../bench/bench_table1_ldo_dropout.pdb"
+  "CMakeFiles/bench_table1_ldo_dropout.dir/bench_table1_ldo_dropout.cpp.o"
+  "CMakeFiles/bench_table1_ldo_dropout.dir/bench_table1_ldo_dropout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ldo_dropout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozznoc_sim.dir/dozznoc_sim.cpp.o"
+  "CMakeFiles/dozznoc_sim.dir/dozznoc_sim.cpp.o.d"
+  "dozznoc_sim"
+  "dozznoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozznoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_sweep.dir/load_sweep.cpp.o"
+  "CMakeFiles/load_sweep.dir/load_sweep.cpp.o.d"
+  "load_sweep"
+  "load_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

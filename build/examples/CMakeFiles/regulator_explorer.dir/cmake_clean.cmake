@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regulator_explorer.dir/regulator_explorer.cpp.o"
+  "CMakeFiles/regulator_explorer.dir/regulator_explorer.cpp.o.d"
+  "regulator_explorer"
+  "regulator_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regulator_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_tool.cpp" "examples/CMakeFiles/trace_tool.dir/trace_tool.cpp.o" "gcc" "examples/CMakeFiles/trace_tool.dir/trace_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dozz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dozz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dozz_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dozz_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dozz_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulator/CMakeFiles/dozz_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dozz_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/dozz_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dozz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "blackscholes")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_regulator_explorer "/root/repo/build/examples/regulator_explorer")
+set_tests_properties(example_regulator_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_load_sweep "/root/repo/build/examples/load_sweep" "neighbor")
+set_tests_properties(example_load_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_event_trace "/root/repo/build/examples/event_trace" "20")
+set_tests_properties(example_event_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dozznoc_sim "/root/repo/build/examples/dozznoc_sim" "--policy" "pg" "--benchmark" "swaptions" "--cycles" "4000" "--baseline" "--json")
+set_tests_properties(example_dozznoc_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tool_roundtrip "/usr/bin/cmake" "-DTRACE_TOOL=/root/repo/build/examples/trace_tool" "-DWORK_DIR=/root/repo/build/examples" "-P" "/root/repo/examples/trace_tool_test.cmake")
+set_tests_properties(example_trace_tool_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_common.dir/csv.cpp.o"
+  "CMakeFiles/dozz_common.dir/csv.cpp.o.d"
+  "CMakeFiles/dozz_common.dir/log.cpp.o"
+  "CMakeFiles/dozz_common.dir/log.cpp.o.d"
+  "CMakeFiles/dozz_common.dir/rng.cpp.o"
+  "CMakeFiles/dozz_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dozz_common.dir/stats.cpp.o"
+  "CMakeFiles/dozz_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dozz_common.dir/table.cpp.o"
+  "CMakeFiles/dozz_common.dir/table.cpp.o.d"
+  "libdozz_common.a"
+  "libdozz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

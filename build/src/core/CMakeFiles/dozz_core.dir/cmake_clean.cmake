@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_core.dir/baselines.cpp.o"
+  "CMakeFiles/dozz_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/dozz_core.dir/mode_select.cpp.o"
+  "CMakeFiles/dozz_core.dir/mode_select.cpp.o.d"
+  "CMakeFiles/dozz_core.dir/policies.cpp.o"
+  "CMakeFiles/dozz_core.dir/policies.cpp.o.d"
+  "libdozz_core.a"
+  "libdozz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

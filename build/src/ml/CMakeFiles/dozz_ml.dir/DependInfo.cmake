@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/dozz_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/dozz_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/dozz_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/dozz_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/dozz_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/dozz_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/ridge.cpp" "src/ml/CMakeFiles/dozz_ml.dir/ridge.cpp.o" "gcc" "src/ml/CMakeFiles/dozz_ml.dir/ridge.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/dozz_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/dozz_ml.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dozz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_ml.dir/dataset.cpp.o"
+  "CMakeFiles/dozz_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/dozz_ml.dir/matrix.cpp.o"
+  "CMakeFiles/dozz_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/dozz_ml.dir/mlp.cpp.o"
+  "CMakeFiles/dozz_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/dozz_ml.dir/ridge.cpp.o"
+  "CMakeFiles/dozz_ml.dir/ridge.cpp.o.d"
+  "CMakeFiles/dozz_ml.dir/scaler.cpp.o"
+  "CMakeFiles/dozz_ml.dir/scaler.cpp.o.d"
+  "libdozz_ml.a"
+  "libdozz_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

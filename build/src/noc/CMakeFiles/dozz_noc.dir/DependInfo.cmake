@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/extended_features.cpp" "src/noc/CMakeFiles/dozz_noc.dir/extended_features.cpp.o" "gcc" "src/noc/CMakeFiles/dozz_noc.dir/extended_features.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/dozz_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/dozz_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/nic.cpp" "src/noc/CMakeFiles/dozz_noc.dir/nic.cpp.o" "gcc" "src/noc/CMakeFiles/dozz_noc.dir/nic.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/dozz_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/dozz_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/stats.cpp" "src/noc/CMakeFiles/dozz_noc.dir/stats.cpp.o" "gcc" "src/noc/CMakeFiles/dozz_noc.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dozz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulator/CMakeFiles/dozz_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dozz_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dozz_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/dozz_trafficgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

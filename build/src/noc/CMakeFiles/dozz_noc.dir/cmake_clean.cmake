@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_noc.dir/extended_features.cpp.o"
+  "CMakeFiles/dozz_noc.dir/extended_features.cpp.o.d"
+  "CMakeFiles/dozz_noc.dir/network.cpp.o"
+  "CMakeFiles/dozz_noc.dir/network.cpp.o.d"
+  "CMakeFiles/dozz_noc.dir/nic.cpp.o"
+  "CMakeFiles/dozz_noc.dir/nic.cpp.o.d"
+  "CMakeFiles/dozz_noc.dir/router.cpp.o"
+  "CMakeFiles/dozz_noc.dir/router.cpp.o.d"
+  "CMakeFiles/dozz_noc.dir/stats.cpp.o"
+  "CMakeFiles/dozz_noc.dir/stats.cpp.o.d"
+  "libdozz_noc.a"
+  "libdozz_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

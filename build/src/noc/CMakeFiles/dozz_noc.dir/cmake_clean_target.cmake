@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdozz_noc.a"
+)

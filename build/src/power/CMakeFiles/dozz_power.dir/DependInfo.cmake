@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/dsent_model.cpp" "src/power/CMakeFiles/dozz_power.dir/dsent_model.cpp.o" "gcc" "src/power/CMakeFiles/dozz_power.dir/dsent_model.cpp.o.d"
+  "/root/repo/src/power/energy_accountant.cpp" "src/power/CMakeFiles/dozz_power.dir/energy_accountant.cpp.o" "gcc" "src/power/CMakeFiles/dozz_power.dir/energy_accountant.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/dozz_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/dozz_power.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dozz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulator/CMakeFiles/dozz_regulator.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_power.dir/dsent_model.cpp.o"
+  "CMakeFiles/dozz_power.dir/dsent_model.cpp.o.d"
+  "CMakeFiles/dozz_power.dir/energy_accountant.cpp.o"
+  "CMakeFiles/dozz_power.dir/energy_accountant.cpp.o.d"
+  "CMakeFiles/dozz_power.dir/power_model.cpp.o"
+  "CMakeFiles/dozz_power.dir/power_model.cpp.o.d"
+  "libdozz_power.a"
+  "libdozz_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

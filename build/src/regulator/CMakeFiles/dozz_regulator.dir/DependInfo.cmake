@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regulator/simo_converter.cpp" "src/regulator/CMakeFiles/dozz_regulator.dir/simo_converter.cpp.o" "gcc" "src/regulator/CMakeFiles/dozz_regulator.dir/simo_converter.cpp.o.d"
+  "/root/repo/src/regulator/simo_ldo.cpp" "src/regulator/CMakeFiles/dozz_regulator.dir/simo_ldo.cpp.o" "gcc" "src/regulator/CMakeFiles/dozz_regulator.dir/simo_ldo.cpp.o.d"
+  "/root/repo/src/regulator/transient.cpp" "src/regulator/CMakeFiles/dozz_regulator.dir/transient.cpp.o" "gcc" "src/regulator/CMakeFiles/dozz_regulator.dir/transient.cpp.o.d"
+  "/root/repo/src/regulator/vf_mode.cpp" "src/regulator/CMakeFiles/dozz_regulator.dir/vf_mode.cpp.o" "gcc" "src/regulator/CMakeFiles/dozz_regulator.dir/vf_mode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dozz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_regulator.dir/simo_converter.cpp.o"
+  "CMakeFiles/dozz_regulator.dir/simo_converter.cpp.o.d"
+  "CMakeFiles/dozz_regulator.dir/simo_ldo.cpp.o"
+  "CMakeFiles/dozz_regulator.dir/simo_ldo.cpp.o.d"
+  "CMakeFiles/dozz_regulator.dir/transient.cpp.o"
+  "CMakeFiles/dozz_regulator.dir/transient.cpp.o.d"
+  "CMakeFiles/dozz_regulator.dir/vf_mode.cpp.o"
+  "CMakeFiles/dozz_regulator.dir/vf_mode.cpp.o.d"
+  "libdozz_regulator.a"
+  "libdozz_regulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_regulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config_file.cpp" "src/sim/CMakeFiles/dozz_sim.dir/config_file.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/config_file.cpp.o.d"
+  "/root/repo/src/sim/model_store.cpp" "src/sim/CMakeFiles/dozz_sim.dir/model_store.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/model_store.cpp.o.d"
+  "/root/repo/src/sim/oracle.cpp" "src/sim/CMakeFiles/dozz_sim.dir/oracle.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/oracle.cpp.o.d"
+  "/root/repo/src/sim/replicate.cpp" "src/sim/CMakeFiles/dozz_sim.dir/replicate.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/replicate.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/dozz_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/dozz_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/setup.cpp" "src/sim/CMakeFiles/dozz_sim.dir/setup.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/setup.cpp.o.d"
+  "/root/repo/src/sim/training.cpp" "src/sim/CMakeFiles/dozz_sim.dir/training.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dozz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dozz_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dozz_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/dozz_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dozz_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulator/CMakeFiles/dozz_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dozz_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dozz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_sim.dir/config_file.cpp.o"
+  "CMakeFiles/dozz_sim.dir/config_file.cpp.o.d"
+  "CMakeFiles/dozz_sim.dir/model_store.cpp.o"
+  "CMakeFiles/dozz_sim.dir/model_store.cpp.o.d"
+  "CMakeFiles/dozz_sim.dir/oracle.cpp.o"
+  "CMakeFiles/dozz_sim.dir/oracle.cpp.o.d"
+  "CMakeFiles/dozz_sim.dir/replicate.cpp.o"
+  "CMakeFiles/dozz_sim.dir/replicate.cpp.o.d"
+  "CMakeFiles/dozz_sim.dir/report.cpp.o"
+  "CMakeFiles/dozz_sim.dir/report.cpp.o.d"
+  "CMakeFiles/dozz_sim.dir/runner.cpp.o"
+  "CMakeFiles/dozz_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/dozz_sim.dir/setup.cpp.o"
+  "CMakeFiles/dozz_sim.dir/setup.cpp.o.d"
+  "CMakeFiles/dozz_sim.dir/training.cpp.o"
+  "CMakeFiles/dozz_sim.dir/training.cpp.o.d"
+  "libdozz_sim.a"
+  "libdozz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_topology.dir/topology.cpp.o"
+  "CMakeFiles/dozz_topology.dir/topology.cpp.o.d"
+  "libdozz_topology.a"
+  "libdozz_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

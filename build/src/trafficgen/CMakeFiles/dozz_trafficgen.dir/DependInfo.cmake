@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trafficgen/benchmarks.cpp" "src/trafficgen/CMakeFiles/dozz_trafficgen.dir/benchmarks.cpp.o" "gcc" "src/trafficgen/CMakeFiles/dozz_trafficgen.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/trafficgen/fullsystem.cpp" "src/trafficgen/CMakeFiles/dozz_trafficgen.dir/fullsystem.cpp.o" "gcc" "src/trafficgen/CMakeFiles/dozz_trafficgen.dir/fullsystem.cpp.o.d"
+  "/root/repo/src/trafficgen/patterns.cpp" "src/trafficgen/CMakeFiles/dozz_trafficgen.dir/patterns.cpp.o" "gcc" "src/trafficgen/CMakeFiles/dozz_trafficgen.dir/patterns.cpp.o.d"
+  "/root/repo/src/trafficgen/trace.cpp" "src/trafficgen/CMakeFiles/dozz_trafficgen.dir/trace.cpp.o" "gcc" "src/trafficgen/CMakeFiles/dozz_trafficgen.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dozz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dozz_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dozz_trafficgen.dir/benchmarks.cpp.o"
+  "CMakeFiles/dozz_trafficgen.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/dozz_trafficgen.dir/fullsystem.cpp.o"
+  "CMakeFiles/dozz_trafficgen.dir/fullsystem.cpp.o.d"
+  "CMakeFiles/dozz_trafficgen.dir/patterns.cpp.o"
+  "CMakeFiles/dozz_trafficgen.dir/patterns.cpp.o.d"
+  "CMakeFiles/dozz_trafficgen.dir/trace.cpp.o"
+  "CMakeFiles/dozz_trafficgen.dir/trace.cpp.o.d"
+  "libdozz_trafficgen.a"
+  "libdozz_trafficgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dozz_trafficgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/dozz_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dozz_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/dozz_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_config_sweep.cpp" "tests/CMakeFiles/dozz_tests.dir/test_config_sweep.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_config_sweep.cpp.o.d"
+  "/root/repo/tests/test_converter.cpp" "tests/CMakeFiles/dozz_tests.dir/test_converter.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_converter.cpp.o.d"
+  "/root/repo/tests/test_dsent.cpp" "tests/CMakeFiles/dozz_tests.dir/test_dsent.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_dsent.cpp.o.d"
+  "/root/repo/tests/test_extended.cpp" "tests/CMakeFiles/dozz_tests.dir/test_extended.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_extended.cpp.o.d"
+  "/root/repo/tests/test_fullsystem.cpp" "tests/CMakeFiles/dozz_tests.dir/test_fullsystem.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_fullsystem.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/dozz_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dozz_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/dozz_tests.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_ml.cpp.o.d"
+  "/root/repo/tests/test_mlp.cpp" "tests/CMakeFiles/dozz_tests.dir/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_mlp.cpp.o.d"
+  "/root/repo/tests/test_model_store.cpp" "tests/CMakeFiles/dozz_tests.dir/test_model_store.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_model_store.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/dozz_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_nic.cpp" "tests/CMakeFiles/dozz_tests.dir/test_nic.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_nic.cpp.o.d"
+  "/root/repo/tests/test_noc_units.cpp" "tests/CMakeFiles/dozz_tests.dir/test_noc_units.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_noc_units.cpp.o.d"
+  "/root/repo/tests/test_observer.cpp" "tests/CMakeFiles/dozz_tests.dir/test_observer.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_observer.cpp.o.d"
+  "/root/repo/tests/test_policies.cpp" "tests/CMakeFiles/dozz_tests.dir/test_policies.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_policies.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/dozz_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/dozz_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_regulator.cpp" "tests/CMakeFiles/dozz_tests.dir/test_regulator.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_regulator.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dozz_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/dozz_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_routing_algos.cpp" "tests/CMakeFiles/dozz_tests.dir/test_routing_algos.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_routing_algos.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/dozz_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_torus.cpp" "tests/CMakeFiles/dozz_tests.dir/test_torus.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_torus.cpp.o.d"
+  "/root/repo/tests/test_trafficgen.cpp" "tests/CMakeFiles/dozz_tests.dir/test_trafficgen.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_trafficgen.cpp.o.d"
+  "/root/repo/tests/test_training.cpp" "tests/CMakeFiles/dozz_tests.dir/test_training.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_training.cpp.o.d"
+  "/root/repo/tests/test_wormhole.cpp" "tests/CMakeFiles/dozz_tests.dir/test_wormhole.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_wormhole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dozz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dozz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dozz_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dozz_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dozz_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/regulator/CMakeFiles/dozz_regulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/dozz_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/trafficgen/CMakeFiles/dozz_trafficgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dozz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
