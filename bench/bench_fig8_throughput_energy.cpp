@@ -9,6 +9,7 @@
 
 #include "bench/bench_common.hpp"
 #include "src/common/table.hpp"
+#include "src/sim/batch.hpp"
 #include "src/trafficgen/benchmarks.hpp"
 
 namespace {
@@ -23,9 +24,7 @@ struct Row {
   double off_fraction = 0.0;
 };
 
-Row run_one(const SimSetup& setup, PolicyKind kind, const Trace& trace,
-            const std::optional<WeightVector>& weights) {
-  const NetworkMetrics m = run_policy(setup, kind, trace, weights).metrics;
+Row to_row(const NetworkMetrics& m) {
   Row r;
   r.throughput = m.throughput_flits_per_ns();
   r.latency_ns = m.network_latency_ns.mean();
@@ -44,13 +43,28 @@ void run_suite(const SimSetup& setup,
   TextTable stat({"benchmark", "PG", "LEAD-tau", "DozzNoC", "ML+TURBO"});
   TextTable dyn({"benchmark", "PG", "LEAD-tau", "DozzNoC", "ML+TURBO"});
 
+  // One batch for the whole (benchmark x model) grid; outcomes come back
+  // in submission order, so indexing below recovers the serial layout.
+  std::vector<BatchJob> jobs;
+  for (const auto& name : test_benchmarks()) {
+    for (const auto& [kind, weights] : models) {
+      BatchJob job;
+      job.kind = kind;
+      job.weights = weights;
+      job.benchmark = name;
+      job.compression = compression;
+      jobs.push_back(std::move(job));
+    }
+  }
+  const std::vector<RunOutcome> outcomes = run_batch(setup, jobs);
+
   std::map<PolicyKind, Row> sums;
   Row base_sum;
+  std::size_t next = 0;
   for (const auto& name : test_benchmarks()) {
-    const Trace trace = make_benchmark_trace(setup, name, compression);
     std::map<PolicyKind, Row> rows;
-    for (const auto& [kind, weights] : models)
-      rows[kind] = run_one(setup, kind, trace, weights);
+    for (const auto& entry : models)
+      rows[entry.first] = to_row(outcomes[next++].metrics);
 
     const Row& base = rows.at(PolicyKind::kBaseline);
     base_sum.throughput += base.throughput;

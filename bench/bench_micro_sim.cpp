@@ -22,10 +22,15 @@ namespace {
 
 using namespace dozz;
 
-void BM_NetworkStep_Mesh8x8(benchmark::State& state) {
+/// Shared body of the mesh stepping benchmarks: `legacy` selects the
+/// retired linear-scan kernel so its throughput can be compared against
+/// the indexed event schedule on identical runs. Reports kernel events
+/// and router edge steps per second next to wall-clock time.
+void run_mesh_step(benchmark::State& state, bool legacy) {
   const Topology topo = make_mesh();
   NocConfig config;
   config.auto_response = false;
+  config.legacy_linear_kernel = legacy;
   PowerModel power;
   SimoLdoRegulator regulator;
   const double rate = static_cast<double>(state.range(0)) / 1000.0;
@@ -33,41 +38,78 @@ void BM_NetworkStep_Mesh8x8(benchmark::State& state) {
   const Trace trace = generate_synthetic_trace(
       topo, uniform_pattern(topo.num_cores()), rate, cycles, 42);
   std::uint64_t delivered = 0;
+  std::uint64_t events = 0;
+  std::uint64_t steps = 0;
   for (auto _ : state) {
     BaselinePolicy policy;
     Network net(topo, config, policy, power, regulator);
     net.run(trace, cycles * kBaselinePeriodTicks);
     delivered += net.metrics().flits_delivered;
+    events += net.kernel_events();
+    steps += net.edge_steps();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(
       state.iterations() * cycles * static_cast<std::uint64_t>(
           topo.num_routers())));
   state.counters["flits"] = static_cast<double>(delivered) /
                             static_cast<double>(state.iterations());
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["edge_steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+void BM_NetworkStep_Mesh8x8(benchmark::State& state) {
+  run_mesh_step(state, /*legacy=*/false);
 }
 BENCHMARK(BM_NetworkStep_Mesh8x8)->Arg(5)->Arg(20)->Arg(50)
     ->Unit(benchmark::kMillisecond);
 
-void BM_NetworkStep_PowerGated(benchmark::State& state) {
+void BM_NetworkStep_Mesh8x8_LegacyKernel(benchmark::State& state) {
+  run_mesh_step(state, /*legacy=*/true);
+}
+BENCHMARK(BM_NetworkStep_Mesh8x8_LegacyKernel)->Arg(5)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void run_power_gated_step(benchmark::State& state, bool legacy) {
   const Topology topo = make_mesh();
   NocConfig config;
   config.auto_response = false;
+  config.legacy_linear_kernel = legacy;
   PowerModel power;
   SimoLdoRegulator regulator;
   const std::uint64_t cycles = 2000;
   const Trace trace = generate_synthetic_trace(
       topo, uniform_pattern(topo.num_cores()), 0.005, cycles, 42);
+  std::uint64_t events = 0;
+  std::uint64_t steps = 0;
   for (auto _ : state) {
     PowerGatePolicy policy;
     Network net(topo, config, policy, power, regulator);
     net.run(trace, cycles * kBaselinePeriodTicks);
     benchmark::DoNotOptimize(net.metrics().packets_delivered);
+    events += net.kernel_events();
+    steps += net.edge_steps();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(
       state.iterations() * cycles * static_cast<std::uint64_t>(
           topo.num_routers())));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["edge_steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+
+void BM_NetworkStep_PowerGated(benchmark::State& state) {
+  run_power_gated_step(state, /*legacy=*/false);
 }
 BENCHMARK(BM_NetworkStep_PowerGated)->Unit(benchmark::kMillisecond);
+
+void BM_NetworkStep_PowerGated_LegacyKernel(benchmark::State& state) {
+  run_power_gated_step(state, /*legacy=*/true);
+}
+BENCHMARK(BM_NetworkStep_PowerGated_LegacyKernel)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BenchmarkTraceGeneration(benchmark::State& state) {
   const Topology topo = make_mesh();

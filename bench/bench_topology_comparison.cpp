@@ -7,6 +7,7 @@
 
 #include "bench/bench_common.hpp"
 #include "src/common/table.hpp"
+#include "src/sim/batch.hpp"
 #include "src/trafficgen/benchmarks.hpp"
 
 int main() {
@@ -39,6 +40,21 @@ int main() {
     const WeightVector weights =
         load_or_train(PolicyKind::kDozzNoc, setup, opts);
 
+    // Pairs of (baseline, DozzNoC) jobs per benchmark, run as one batch.
+    std::vector<BatchJob> jobs;
+    for (const auto& name : test_benchmarks()) {
+      BatchJob base_job;
+      base_job.kind = PolicyKind::kBaseline;
+      base_job.benchmark = name;
+      jobs.push_back(base_job);
+      BatchJob dozz_job;
+      dozz_job.kind = PolicyKind::kDozzNoc;
+      dozz_job.weights = weights;
+      dozz_job.benchmark = name;
+      jobs.push_back(std::move(dozz_job));
+    }
+    const std::vector<RunOutcome> outcomes = run_batch(setup, jobs);
+
     double hops = 0.0;
     double lat = 0.0;
     double st = 0.0;
@@ -46,12 +62,9 @@ int main() {
     double tp = 0.0;
     double off = 0.0;
     int n = 0;
-    for (const auto& name : test_benchmarks()) {
-      const Trace trace = make_benchmark_trace(setup, name, 1.0);
-      const NetworkMetrics base =
-          run_policy(setup, PolicyKind::kBaseline, trace).metrics;
-      const NetworkMetrics dozz =
-          run_policy(setup, PolicyKind::kDozzNoc, trace, weights).metrics;
+    for (std::size_t i = 0; i + 1 < outcomes.size(); i += 2) {
+      const NetworkMetrics& base = outcomes[i].metrics;
+      const NetworkMetrics& dozz = outcomes[i + 1].metrics;
       hops += base.packet_hops.mean();
       lat += base.packet_latency_ns.mean();
       st += 1.0 - dozz.static_energy_j / base.static_energy_j;

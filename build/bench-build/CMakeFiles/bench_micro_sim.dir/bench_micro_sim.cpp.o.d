@@ -231,8 +231,9 @@ bench-build/CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cpp.o: \
  /root/repo/src/power/energy_accountant.hpp \
  /root/repo/src/power/power_model.hpp \
  /root/repo/src/regulator/simo_ldo.hpp /root/repo/src/noc/network.hpp \
- /root/repo/src/noc/nic.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/trafficgen/trace.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/noc/event_schedule.hpp /root/repo/src/noc/nic.hpp \
+ /root/repo/src/trafficgen/trace.hpp \
  /root/repo/src/regulator/simo_converter.hpp \
  /root/repo/src/sim/runner.hpp /root/repo/src/sim/setup.hpp \
  /root/repo/src/trafficgen/benchmarks.hpp \

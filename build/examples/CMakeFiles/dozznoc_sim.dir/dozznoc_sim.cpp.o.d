@@ -219,15 +219,17 @@ examples/CMakeFiles/dozznoc_sim.dir/dozznoc_sim.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/model_store.hpp \
  /root/repo/src/sim/training.hpp /root/repo/src/ml/scaler.hpp \
  /root/repo/src/sim/runner.hpp /root/repo/src/noc/network.hpp \
- /root/repo/src/noc/nic.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/noc/flit.hpp \
- /root/repo/src/noc/noc_config.hpp /root/repo/src/noc/router.hpp \
- /root/repo/src/noc/channel.hpp /root/repo/src/noc/input_buffer.hpp \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/noc/event_schedule.hpp \
+ /root/repo/src/noc/extended_features.hpp /root/repo/src/noc/router.hpp \
+ /root/repo/src/noc/channel.hpp /root/repo/src/noc/flit.hpp \
+ /root/repo/src/noc/input_buffer.hpp /root/repo/src/noc/noc_config.hpp \
  /root/repo/src/power/energy_accountant.hpp \
  /root/repo/src/power/power_model.hpp \
- /root/repo/src/regulator/simo_ldo.hpp \
+ /root/repo/src/regulator/simo_ldo.hpp /root/repo/src/noc/nic.hpp \
  /root/repo/src/trafficgen/trace.hpp /root/repo/src/sim/setup.hpp \
  /root/repo/src/sim/oracle.hpp /root/repo/src/sim/report.hpp \
  /root/repo/src/trafficgen/benchmarks.hpp \

@@ -207,16 +207,23 @@ examples/CMakeFiles/policy_comparison.dir/policy_comparison.cpp.o: \
  /usr/include/c++/12/limits /root/repo/src/common/time.hpp \
  /root/repo/src/regulator/vf_mode.hpp \
  /root/repo/src/topology/topology.hpp /root/repo/src/noc/network.hpp \
- /root/repo/src/noc/nic.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/noc/flit.hpp \
- /root/repo/src/noc/noc_config.hpp /root/repo/src/noc/router.hpp \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/noc/event_schedule.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/noc/extended_features.hpp /root/repo/src/noc/router.hpp \
  /root/repo/src/noc/channel.hpp /root/repo/src/common/error.hpp \
- /root/repo/src/noc/input_buffer.hpp \
+ /root/repo/src/noc/flit.hpp /root/repo/src/noc/input_buffer.hpp \
+ /root/repo/src/noc/noc_config.hpp \
  /root/repo/src/power/energy_accountant.hpp \
  /root/repo/src/power/power_model.hpp \
- /root/repo/src/regulator/simo_ldo.hpp \
+ /root/repo/src/regulator/simo_ldo.hpp /root/repo/src/noc/nic.hpp \
  /root/repo/src/trafficgen/trace.hpp /root/repo/src/sim/setup.hpp \
  /root/repo/src/sim/training.hpp /root/repo/src/ml/scaler.hpp \
  /root/repo/src/trafficgen/benchmarks.hpp

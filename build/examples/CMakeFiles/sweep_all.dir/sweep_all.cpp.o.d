@@ -129,13 +129,13 @@ examples/CMakeFiles/sweep_all.dir/sweep_all.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/sim/model_store.hpp /root/repo/src/sim/training.hpp \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/policies.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/sim/batch.hpp \
+ /root/repo/src/core/policies.hpp /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -211,17 +211,21 @@ examples/CMakeFiles/sweep_all.dir/sweep_all.cpp.o: \
  /usr/include/c++/12/array /root/repo/src/common/stats.hpp \
  /usr/include/c++/12/limits /root/repo/src/common/time.hpp \
  /root/repo/src/regulator/vf_mode.hpp \
- /root/repo/src/topology/topology.hpp /root/repo/src/ml/scaler.hpp \
- /root/repo/src/sim/runner.hpp /root/repo/src/noc/network.hpp \
- /root/repo/src/noc/nic.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/noc/flit.hpp \
- /root/repo/src/noc/noc_config.hpp /root/repo/src/noc/router.hpp \
+ /root/repo/src/topology/topology.hpp /root/repo/src/sim/runner.hpp \
+ /root/repo/src/noc/network.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/noc/event_schedule.hpp \
+ /root/repo/src/noc/extended_features.hpp /root/repo/src/noc/router.hpp \
  /root/repo/src/noc/channel.hpp /root/repo/src/common/error.hpp \
- /root/repo/src/noc/input_buffer.hpp \
+ /root/repo/src/noc/flit.hpp /root/repo/src/noc/input_buffer.hpp \
+ /root/repo/src/noc/noc_config.hpp \
  /root/repo/src/power/energy_accountant.hpp \
  /root/repo/src/power/power_model.hpp \
- /root/repo/src/regulator/simo_ldo.hpp \
+ /root/repo/src/regulator/simo_ldo.hpp /root/repo/src/noc/nic.hpp \
  /root/repo/src/trafficgen/trace.hpp /root/repo/src/sim/setup.hpp \
- /root/repo/src/sim/report.hpp /root/repo/src/trafficgen/benchmarks.hpp
+ /root/repo/src/sim/model_store.hpp /root/repo/src/sim/training.hpp \
+ /root/repo/src/ml/scaler.hpp /root/repo/src/sim/report.hpp \
+ /root/repo/src/trafficgen/benchmarks.hpp

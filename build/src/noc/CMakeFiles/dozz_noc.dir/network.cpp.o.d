@@ -194,24 +194,31 @@ src/noc/CMakeFiles/dozz_noc.dir/network.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
- /root/repo/src/common/../../src/noc/nic.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/../../src/noc/event_schedule.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/common/../../src/common/time.hpp \
- /root/repo/src/common/../../src/noc/flit.hpp \
  /root/repo/src/common/../../src/topology/topology.hpp \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/../../src/noc/noc_config.hpp \
+ /root/repo/src/common/../../src/noc/extended_features.hpp \
  /root/repo/src/common/../../src/noc/router.hpp /usr/include/c++/12/array \
  /root/repo/src/common/../../src/noc/channel.hpp \
  /root/repo/src/common/../../src/common/error.hpp \
+ /root/repo/src/common/../../src/noc/flit.hpp \
  /root/repo/src/common/../../src/noc/input_buffer.hpp \
+ /root/repo/src/common/../../src/noc/noc_config.hpp \
  /root/repo/src/common/../../src/noc/stats.hpp \
  /root/repo/src/common/../../src/common/stats.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
@@ -219,6 +226,7 @@ src/noc/CMakeFiles/dozz_noc.dir/network.cpp.o: \
  /root/repo/src/common/../../src/power/energy_accountant.hpp \
  /root/repo/src/common/../../src/power/power_model.hpp \
  /root/repo/src/common/../../src/regulator/simo_ldo.hpp \
+ /root/repo/src/common/../../src/noc/nic.hpp \
  /root/repo/src/common/../../src/trafficgen/trace.hpp \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -229,5 +237,4 @@ src/noc/CMakeFiles/dozz_noc.dir/network.cpp.o: \
  /root/repo/src/common/../../src/common/log.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/common/../../src/noc/extended_features.hpp
+ /usr/include/c++/12/bits/sstream.tcc

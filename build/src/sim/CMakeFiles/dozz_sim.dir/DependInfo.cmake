@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/batch.cpp" "src/sim/CMakeFiles/dozz_sim.dir/batch.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/batch.cpp.o.d"
   "/root/repo/src/sim/config_file.cpp" "src/sim/CMakeFiles/dozz_sim.dir/config_file.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/config_file.cpp.o.d"
   "/root/repo/src/sim/model_store.cpp" "src/sim/CMakeFiles/dozz_sim.dir/model_store.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/model_store.cpp.o.d"
   "/root/repo/src/sim/oracle.cpp" "src/sim/CMakeFiles/dozz_sim.dir/oracle.cpp.o" "gcc" "src/sim/CMakeFiles/dozz_sim.dir/oracle.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/dozz_sim.dir/batch.cpp.o"
+  "CMakeFiles/dozz_sim.dir/batch.cpp.o.d"
   "CMakeFiles/dozz_sim.dir/config_file.cpp.o"
   "CMakeFiles/dozz_sim.dir/config_file.cpp.o.d"
   "CMakeFiles/dozz_sim.dir/model_store.cpp.o"

@@ -211,19 +211,27 @@ src/sim/CMakeFiles/dozz_sim.dir/report.cpp.o: \
  /root/repo/src/common/../../src/ml/dataset.hpp \
  /root/repo/src/common/../../src/ml/matrix.hpp \
  /root/repo/src/common/../../src/noc/network.hpp \
- /root/repo/src/common/../../src/noc/nic.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/common/../../src/noc/flit.hpp \
- /root/repo/src/common/../../src/noc/noc_config.hpp \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/../../src/noc/event_schedule.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h \
+ /root/repo/src/common/../../src/noc/extended_features.hpp \
  /root/repo/src/common/../../src/noc/router.hpp \
  /root/repo/src/common/../../src/noc/channel.hpp \
  /root/repo/src/common/../../src/common/error.hpp \
+ /root/repo/src/common/../../src/noc/flit.hpp \
  /root/repo/src/common/../../src/noc/input_buffer.hpp \
+ /root/repo/src/common/../../src/noc/noc_config.hpp \
  /root/repo/src/common/../../src/power/energy_accountant.hpp \
  /root/repo/src/common/../../src/power/power_model.hpp \
  /root/repo/src/common/../../src/regulator/simo_ldo.hpp \
+ /root/repo/src/common/../../src/noc/nic.hpp \
  /root/repo/src/common/../../src/trafficgen/trace.hpp \
  /root/repo/src/common/../../src/sim/setup.hpp \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \

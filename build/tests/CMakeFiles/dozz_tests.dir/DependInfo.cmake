@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/dozz_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_batch.cpp" "tests/CMakeFiles/dozz_tests.dir/test_batch.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_batch.cpp.o.d"
   "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dozz_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_common.cpp.o.d"
   "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/dozz_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_config.cpp.o.d"
   "/root/repo/tests/test_config_sweep.cpp" "tests/CMakeFiles/dozz_tests.dir/test_config_sweep.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_config_sweep.cpp.o.d"
@@ -18,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_fullsystem.cpp" "tests/CMakeFiles/dozz_tests.dir/test_fullsystem.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_fullsystem.cpp.o.d"
   "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/dozz_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_fuzz.cpp.o.d"
   "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dozz_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernel_equivalence.cpp" "tests/CMakeFiles/dozz_tests.dir/test_kernel_equivalence.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_kernel_equivalence.cpp.o.d"
   "/root/repo/tests/test_ml.cpp" "tests/CMakeFiles/dozz_tests.dir/test_ml.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_ml.cpp.o.d"
   "/root/repo/tests/test_mlp.cpp" "tests/CMakeFiles/dozz_tests.dir/test_mlp.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_mlp.cpp.o.d"
   "/root/repo/tests/test_model_store.cpp" "tests/CMakeFiles/dozz_tests.dir/test_model_store.cpp.o" "gcc" "tests/CMakeFiles/dozz_tests.dir/test_model_store.cpp.o.d"

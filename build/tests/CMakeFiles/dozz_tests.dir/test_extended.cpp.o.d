@@ -316,8 +316,9 @@ tests/CMakeFiles/dozz_tests.dir/test_extended.cpp.o: \
  /root/repo/src/common/../../src/power/power_model.hpp \
  /root/repo/src/common/../../src/regulator/simo_ldo.hpp \
  /root/repo/src/common/../../src/noc/network.hpp \
- /root/repo/src/common/../../src/noc/nic.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/common/../../src/noc/event_schedule.hpp \
+ /root/repo/src/common/../../src/noc/nic.hpp \
  /root/repo/src/common/../../src/trafficgen/trace.hpp \
  /root/repo/src/common/../../src/sim/runner.hpp \
  /root/repo/src/common/../../src/sim/setup.hpp \

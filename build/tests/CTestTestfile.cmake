@@ -5,3 +5,5 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/dozz_tests[1]_include.cmake")
+add_test(tsan_smoke "/root/repo/build/tests/dozz_tests" "--gtest_filter=BatchDeterminism.*:ThreadPool.*")
+set_tests_properties(tsan_smoke PROPERTIES  LABELS "tsan_smoke" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;46;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -2,12 +2,18 @@
 // regimes and emits one JSON object per run (JSON-lines), ready for
 // pandas/jq post-processing. The machine-readable twin of Fig. 8.
 //
+// Runs execute on the parallel batch runner (thread count from
+// DOZZ_THREADS or the hardware concurrency); output order and content are
+// identical at any thread count.
+//
 //   ./examples/sweep_all > results.jsonl
 #include <cstdio>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "src/sim/batch.hpp"
 #include "src/sim/model_store.hpp"
 #include "src/sim/report.hpp"
 #include "src/sim/runner.hpp"
@@ -32,16 +38,27 @@ int main() {
     models[kind] = load_or_train(kind, setup, opts);
   }
 
+  std::vector<BatchJob> jobs;
   for (double compression : {1.0, kCompressedFactor}) {
     for (const auto& name : test_benchmarks()) {
-      const Trace trace = make_benchmark_trace(setup, name, compression);
       for (const auto& [kind, weights] : models) {
-        RunOutcome outcome = run_policy(setup, kind, trace, weights);
-        outcome.trace += compression == 1.0 ? "/uncompressed" : "/compressed";
-        std::printf("%s\n", outcome_to_json(outcome).c_str());
-        std::fflush(stdout);
+        BatchJob job;
+        job.kind = kind;
+        job.weights = weights;
+        job.benchmark = name;
+        job.compression = compression;
+        jobs.push_back(std::move(job));
       }
     }
   }
+
+  std::vector<RunOutcome> outcomes = run_batch(setup, jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    RunOutcome& outcome = outcomes[i];
+    outcome.trace +=
+        jobs[i].compression == 1.0 ? "/uncompressed" : "/compressed";
+    std::printf("%s\n", outcome_to_json(outcome).c_str());
+  }
+  std::fflush(stdout);
   return 0;
 }

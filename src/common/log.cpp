@@ -22,7 +22,12 @@ void set_log_level(LogLevel level) { g_level = level; }
 
 void log_line(LogLevel level, const std::string& message) {
   const char* tag = level == LogLevel::kDebug ? "[debug] " : "[info] ";
-  std::cerr << tag << message << '\n';
+  // Emit one preassembled string: a single stream insertion keeps lines
+  // whole when batch-runner worker threads log concurrently.
+  std::string line;
+  line.reserve(std::strlen(tag) + message.size() + 1);
+  line.append(tag).append(message).push_back('\n');
+  std::cerr << line;
 }
 
 }  // namespace dozz

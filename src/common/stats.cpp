@@ -51,6 +51,13 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   DOZZ_REQUIRE(hi > lo && bins > 0);
 }
 
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+  underflow_ = 0;
+  overflow_ = 0;
+  total_ = 0;
+}
+
 void Histogram::add(double x) {
   ++total_;
   if (x < lo_) {

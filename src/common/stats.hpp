@@ -38,6 +38,9 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+  /// Zeroes every bin and counter, keeping the bin layout (and the backing
+  /// allocation) so one histogram can be reused across runs.
+  void reset();
   std::size_t bin_count(std::size_t bin) const;
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }

@@ -1,0 +1,140 @@
+// Minimal work-stealing thread pool for the batch experiment runner.
+//
+// Each worker owns a deque: it pops work from the back of its own deque
+// (LIFO, cache-warm) and steals from the front of a victim's deque (FIFO,
+// oldest-first) when it runs dry. submit() distributes tasks round-robin
+// over the deques, so an experiment grid spreads evenly even before any
+// stealing happens. Tasks must not submit further tasks from inside the
+// pool (the batch runner never does; it submits phases from the caller).
+#pragma once
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dozz {
+
+/// Worker-thread count used when a caller does not specify one: the
+/// DOZZ_THREADS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency().
+inline unsigned default_thread_count() {
+  if (const char* env = std::getenv("DOZZ_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads)
+      : queues_(threads == 0 ? 1 : threads) {
+    workers_.reserve(queues_.size());
+    for (unsigned w = 0; w < queues_.size(); ++w)
+      workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Safe to call from the owning thread only.
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queues_[next_queue_].push_back(std::move(task));
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+      ++pending_;
+    }
+    work_ready_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception any task raised (remaining tasks still run to completion).
+  void wait_all() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+      const std::exception_ptr error = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void worker_loop(unsigned self) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [this, self] {
+          return stopping_ || find_work(self) != queues_.size();
+        });
+        if (stopping_ && total_queued() == 0) return;
+        const std::size_t victim = find_work(self);
+        if (victim == queues_.size()) continue;
+        if (victim == self) {
+          task = std::move(queues_[self].back());  // own deque: LIFO
+          queues_[self].pop_back();
+        } else {
+          task = std::move(queues_[victim].front());  // steal: FIFO
+          queues_[victim].pop_front();
+        }
+      }
+      try {
+        task();
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --pending_;
+        if (pending_ == 0) all_done_.notify_all();
+      }
+    }
+  }
+
+  /// Index of a queue with work: own queue first, then victims in order.
+  /// Returns queues_.size() when every queue is empty. Caller holds mutex_.
+  std::size_t find_work(unsigned self) const {
+    if (!queues_[self].empty()) return self;
+    for (std::size_t q = 0; q < queues_.size(); ++q)
+      if (!queues_[q].empty()) return q;
+    return queues_.size();
+  }
+
+  std::size_t total_queued() const {
+    std::size_t total = 0;
+    for (const auto& q : queues_) total += q.size();
+    return total;
+  }
+
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::size_t next_queue_ = 0;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dozz

@@ -1,0 +1,75 @@
+// Calendar-style event schedule for the indexed simulation kernel.
+//
+// Router clock edges cluster on a handful of distinct ticks (routers in
+// the same V/F mode share a period), so the kernel's access pattern is
+// bursts of pushes at one or two ticks per event followed by consumption
+// of whole buckets in tick order. A binary heap pays O(log n) per entry
+// for that; this tick-bucketed multimap pays amortized O(1): pushes to
+// the most recent tick hit a cached bucket, and map nodes plus bucket
+// storage are recycled, so steady-state operation allocates nothing.
+//
+// Entries use the kernel's lazy-invalidation discipline: the schedule
+// never removes an entry when its owner reschedules — the caller
+// validates entries against the owner's live tick when reading a bucket.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/common/time.hpp"
+#include "src/topology/topology.hpp"
+
+namespace dozz {
+
+class EventSchedule {
+ public:
+  void push(Tick tick, RouterId id) {
+    if (tick != cached_tick_) {
+      auto it = buckets_.lower_bound(tick);
+      if (it == buckets_.end() || it->first != tick) {
+        if (spare_.empty()) {
+          it = buckets_.emplace_hint(it, tick, std::vector<RouterId>());
+        } else {
+          auto node = std::move(spare_.back());
+          spare_.pop_back();
+          node.key() = tick;
+          node.mapped().clear();
+          it = buckets_.insert(it, std::move(node));
+        }
+      }
+      cached_tick_ = tick;
+      cached_ = &it->second;
+    }
+    cached_->push_back(id);
+  }
+
+  bool empty() const { return buckets_.empty(); }
+  Tick front_tick() const { return buckets_.begin()->first; }
+  std::vector<RouterId>& front_bucket() { return buckets_.begin()->second; }
+
+  /// Discards the front bucket, recycling its node and storage.
+  void pop_front() {
+    if (cached_ == &buckets_.begin()->second) {
+      cached_ = nullptr;
+      cached_tick_ = kNoTick;
+    }
+    if (spare_.size() < kMaxSpare) {
+      spare_.push_back(buckets_.extract(buckets_.begin()));
+    } else {
+      buckets_.erase(buckets_.begin());
+    }
+  }
+
+ private:
+  // kInfTick is never pushed (infinite edges are simply not scheduled), so
+  // it doubles as the "no cached bucket" sentinel.
+  static constexpr Tick kNoTick = kInfTick;
+  static constexpr std::size_t kMaxSpare = 8;
+
+  std::map<Tick, std::vector<RouterId>> buckets_;
+  std::vector<std::map<Tick, std::vector<RouterId>>::node_type> spare_;
+  Tick cached_tick_ = kNoTick;
+  std::vector<RouterId>* cached_ = nullptr;
+};
+
+}  // namespace dozz

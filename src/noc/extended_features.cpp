@@ -27,13 +27,21 @@ std::vector<std::string> extended_feature_names(int ports) {
 std::size_t extended_ibu_column() { return 4; }
 
 std::vector<double> build_extended_features(const ExtendedFeatureInputs& in) {
+  std::vector<double> v;
+  build_extended_features(in, &v);
+  return v;
+}
+
+void build_extended_features(const ExtendedFeatureInputs& in,
+                             std::vector<double>* out) {
   const std::size_t ports = in.counters.port_occ_mean.size();
   DOZZ_REQUIRE(ports > 0);
   DOZZ_REQUIRE(in.counters.port_occ_peak.size() == ports &&
                in.counters.port_arrivals.size() == ports &&
                in.counters.port_departures.size() == ports);
 
-  std::vector<double> v;
+  std::vector<double>& v = *out;
+  v.clear();
   v.reserve(18 + 4 * ports + 3);
   v.push_back(in.base.bias);
   v.push_back(in.base.reqs_sent);
@@ -64,8 +72,7 @@ std::vector<double> build_extended_features(const ExtendedFeatureInputs& in) {
   v.push_back(in.prev_base.reqs_received);
   v.push_back(in.prev_base.current_ibu);
 
-  DOZZ_ASSERT(v.size() == extended_feature_names(static_cast<int>(ports)).size());
-  return v;
+  DOZZ_ASSERT(v.size() == 18 + 4 * ports + 3);
 }
 
 }  // namespace dozz

@@ -37,6 +37,11 @@ std::vector<std::string> extended_feature_names(int ports);
 /// Builds the feature vector; size matches extended_feature_names(ports).
 std::vector<double> build_extended_features(const ExtendedFeatureInputs& in);
 
+/// In-place variant for the per-epoch hot path: clears and refills `out`,
+/// reusing its capacity instead of allocating a fresh vector per router.
+void build_extended_features(const ExtendedFeatureInputs& in,
+                             std::vector<double>* out);
+
 /// Index of the "current_ibu" column (the label source) in the vector.
 std::size_t extended_ibu_column();
 

@@ -12,7 +12,8 @@ Network::Network(const Topology& topo, const NocConfig& config,
                  PowerController& policy, const PowerModel& power,
                  const SimoLdoRegulator& regulator)
     : topo_(&topo), config_(config), policy_(&policy), power_(&power),
-      regulator_(&regulator), ml_overhead_(policy.label_feature_count()) {
+      regulator_(&regulator), ml_overhead_(policy.label_feature_count()),
+      indexed_(!config.legacy_linear_kernel) {
   const int n = topo.num_routers();
   routers_.reserve(static_cast<std::size_t>(n));
   nics_.reserve(static_cast<std::size_t>(n));
@@ -50,6 +51,7 @@ void Network::secure(RouterId r, Tick now) {
   if (target.state() == RouterState::kInactive &&
       policy_->gating_enabled()) {
     target.request_wake(now);
+    if (indexed_) schedule_edge(r);  // wake moved next_edge off kInfTick
     if (observer_ != nullptr) observer_->on_wakeup_begin(now, r);
   }
 }
@@ -78,7 +80,9 @@ void Network::deliver(RouterId r, int port, int vc, Tick arrival,
 }
 
 void Network::send_credit(RouterId upstream, int port, int vc, Tick arrival) {
-  router(upstream).credit_in(port).push({arrival, port, vc});
+  Router& up = router(upstream);
+  up.credit_in(port).push({arrival, port, vc});
+  up.note_credit();
 }
 
 void Network::eject(RouterId r, const Flit& flit, Tick now) {
@@ -103,6 +107,8 @@ void Network::eject(RouterId r, const Flit& flit, Tick now) {
     const Tick ready = now + ticks_from_ns(config_.response_delay_ns);
     sink.schedule_response(next_packet_id_++, flit.dst_core, flit.src_core,
                            ready);
+    ++pending_responses_;
+    if (indexed_) response_heap_.push({ready, r});
   }
 }
 
@@ -126,10 +132,88 @@ void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
   DOZZ_REQUIRE(end_tick > 0);
   ran_ = true;
 
+  // Long runs append one row per epoch; size the logs once up front
+  // instead of growing them through repeated reallocation.
+  const auto epochs = static_cast<std::size_t>(
+      end_tick / config_.epoch_ticks() + 1);
+  if (config_.collect_epoch_log) epoch_log_.reserve(epochs);
+  if (config_.collect_extended_log) extended_log_.reserve(epochs);
+
+  const Tick last_event = config_.legacy_linear_kernel
+                              ? run_loop_linear(trace, end_tick, drain)
+                              : run_loop_indexed(trace, end_tick, drain);
+
+  // In drain mode the run's duration is the time of the last event (the
+  // final delivery); in window mode it is the fixed horizon.
+  compile_metrics(drain ? std::max<Tick>(last_event, 1) : end_tick);
+}
+
+void Network::inject_matured(const std::vector<TraceEntry>& entries,
+                             std::size_t& cursor, bool gating, bool punch) {
+  while (cursor < entries.size() && entries[cursor].inject_tick() <= now_) {
+    const TraceEntry& e = entries[cursor++];
+    PendingPacket p;
+    p.packet_id = next_packet_id_++;
+    p.src_core = e.src;
+    p.dst_core = e.dst;
+    p.is_response = e.is_response;
+    p.size_flits = static_cast<std::uint16_t>(
+        e.is_response ? config_.response_size_flits
+                      : config_.request_size_flits);
+    p.inject_tick = now_;
+    const RouterId home = topo_->router_of_core(e.src);
+    nic(home).enqueue(p);
+    ++metrics_.packets_offered;
+    if (observer_ != nullptr)
+      observer_->on_packet_offered(now_, e.src, e.dst, e.is_response);
+    if (gating) {
+      if (punch) {
+        secure_path(home, topo_->router_of_core(e.dst), now_);
+      } else {
+        secure(home, now_);
+      }
+    }
+  }
+}
+
+void Network::mature_nic(NetworkInterface& n, bool gating, bool punch) {
+  dsts_scratch_.clear();
+  const int matured = n.mature_responses(now_, &dsts_scratch_);
+  pending_responses_ -= static_cast<std::uint64_t>(matured);
+  metrics_.packets_offered += static_cast<std::uint64_t>(matured);
+  if (matured > 0 && gating) {
+    if (punch) {
+      for (CoreId dst : dsts_scratch_)
+        secure_path(n.router(), topo_->router_of_core(dst), now_);
+    } else {
+      secure(n.router(), now_);
+    }
+  }
+}
+
+void Network::step_router(std::size_t i, bool gating) {
+  Router& r = routers_[i];
+  ++edge_steps_;
+  r.account_until(now_);
+  r.pre_step(now_);
+  nics_[i].inject_into(r, now_);
+  r.pipeline_step(now_, *this);
+  r.post_step(now_, nics_[i].has_backlog());
+  if (gating && policy_->may_gate(r.id()) && r.can_gate(now_)) {
+    r.gate_off(now_);
+    if (observer_ != nullptr) observer_->on_gate_off(now_, r.id());
+  }
+  r.advance_clock(now_);
+}
+
+Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
   const auto& entries = trace.entries();
   std::size_t cursor = 0;
   Tick next_epoch = config_.epoch_ticks();
   Tick last_event = 0;
+  // Loop-invariant policy/config lookups, hoisted out of the hot loops.
+  const bool gating = policy_->gating_enabled();
+  const bool punch = config_.lookahead_punch;
 
   auto drained = [&]() {
     if (cursor < entries.size()) return false;
@@ -148,47 +232,15 @@ void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
     DOZZ_ASSERT(t >= now_);
     now_ = t;
     last_event = t;
+    ++kernel_events_;
 
     // 1. Matured trace entries become pending packets at their source NI.
-    while (cursor < entries.size() && entries[cursor].inject_tick() <= now_) {
-      const TraceEntry& e = entries[cursor++];
-      PendingPacket p;
-      p.packet_id = next_packet_id_++;
-      p.src_core = e.src;
-      p.dst_core = e.dst;
-      p.is_response = e.is_response;
-      p.size_flits = static_cast<std::uint16_t>(
-          e.is_response ? config_.response_size_flits
-                        : config_.request_size_flits);
-      p.inject_tick = now_;
-      const RouterId home = topo_->router_of_core(e.src);
-      nic(home).enqueue(p);
-      ++metrics_.packets_offered;
-      if (observer_ != nullptr)
-        observer_->on_packet_offered(now_, e.src, e.dst, e.is_response);
-      if (policy_->gating_enabled()) {
-        if (config_.lookahead_punch) {
-          secure_path(home, topo_->router_of_core(e.dst), now_);
-        } else {
-          secure(home, now_);
-        }
-      }
-    }
+    inject_matured(entries, cursor, gating, punch);
 
     // 2. Matured responses.
     for (auto& n : nics_) {
       if (n.next_response_tick() > now_) continue;
-      std::vector<CoreId> dsts;
-      const int matured = n.mature_responses(now_, &dsts);
-      metrics_.packets_offered += static_cast<std::uint64_t>(matured);
-      if (matured > 0 && policy_->gating_enabled()) {
-        if (config_.lookahead_punch) {
-          for (CoreId dst : dsts)
-            secure_path(n.router(), topo_->router_of_core(dst), now_);
-        } else {
-          secure(n.router(), now_);
-        }
-      }
+      mature_nic(n, gating, punch);
     }
 
     // 3. Epoch boundary: feature capture and DVFS mode selection.
@@ -199,25 +251,170 @@ void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
 
     // 4. Clock edges, in router-id order for determinism.
     for (std::size_t i = 0; i < routers_.size(); ++i) {
-      Router& r = routers_[i];
-      if (r.next_edge() > now_) continue;
-      r.account_until(now_);
-      r.pre_step(now_);
-      nics_[i].inject_into(r, now_);
-      r.pipeline_step(now_, *this);
-      r.post_step(now_, nics_[i].has_backlog());
-      if (policy_->gating_enabled() && policy_->may_gate(r.id()) &&
-          r.can_gate(now_)) {
-        r.gate_off(now_);
-        if (observer_ != nullptr) observer_->on_gate_off(now_, r.id());
-      }
-      r.advance_clock(now_);
+      if (routers_[i].next_edge() > now_) continue;
+      step_router(i, gating);
     }
   }
+  return last_event;
+}
 
-  // In drain mode the run's duration is the time of the last event (the
-  // final delivery); in window mode it is the fixed horizon.
-  compile_metrics(drain ? std::max<Tick>(last_event, 1) : end_tick);
+void Network::schedule_edge(RouterId r) {
+  const Tick edge = routers_[static_cast<std::size_t>(r)].next_edge();
+  if (edge < kInfTick) edge_sched_.push(edge, r);
+}
+
+Tick Network::edge_min() {
+  while (!edge_sched_.empty()) {
+    const Tick tick = edge_sched_.front_tick();
+    // One live entry proves the bucket's tick is the minimum — stop there
+    // (the due-edge collection re-validates every entry anyway). Every
+    // reschedule pushes a fresh entry, so the live minimum is always
+    // present; a mismatched entry is a stale leftover. Only a fully stale
+    // bucket costs a full scan, and it is discarded on the spot.
+    for (const RouterId id : edge_sched_.front_bucket()) {
+      const Tick edge = routers_[static_cast<std::size_t>(id)].next_edge();
+      if (edge == tick) return tick;
+      DOZZ_ASSERT(edge > tick);
+    }
+    edge_sched_.pop_front();
+  }
+  return kInfTick;
+}
+
+Tick Network::response_min() {
+  while (!response_heap_.empty()) {
+    const auto [tick, id] = response_heap_.top();
+    const Tick live = nics_[static_cast<std::size_t>(id)].next_response_tick();
+    if (live == tick) return tick;
+    DOZZ_ASSERT(live > tick);
+    response_heap_.pop();
+  }
+  return kInfTick;
+}
+
+Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
+                               bool drain) {
+  const auto& entries = trace.entries();
+  std::size_t cursor = 0;
+  Tick next_epoch = config_.epoch_ticks();
+  Tick last_event = 0;
+  // Loop-invariant policy/config lookups, hoisted out of the hot loops.
+  const bool gating = policy_->gating_enabled();
+  const bool punch = config_.lookahead_punch;
+
+  for (std::size_t i = 0; i < routers_.size(); ++i)
+    schedule_edge(static_cast<RouterId>(i));
+
+  std::vector<RouterId> due;  // sorted ids due at now_
+
+  while (true) {
+    // Drain check without the per-event NIC scan: packets parked in NIC
+    // queues or in-network are offered-but-undelivered, so the only state
+    // the counters miss is responses scheduled but not yet matured.
+    if (drain && cursor >= entries.size() && pending_responses_ == 0 &&
+        metrics_.packets_delivered == metrics_.packets_offered)
+      break;
+    const Tick trace_next =
+        cursor < entries.size() ? entries[cursor].inject_tick() : kInfTick;
+    const Tick t = std::min(std::min(trace_next, next_epoch),
+                            std::min(edge_min(), response_min()));
+    if (t >= end_tick) break;
+    DOZZ_ASSERT(t >= now_);
+    now_ = t;
+    last_event = t;
+    ++kernel_events_;
+
+    // 1. Matured trace entries become pending packets at their source NI.
+    inject_matured(entries, cursor, gating, punch);
+
+    // 2. Matured responses, in NIC-id order (matches the linear sweep).
+    if (!response_heap_.empty() && response_heap_.top().first <= now_) {
+      due.clear();
+      while (!response_heap_.empty() && response_heap_.top().first <= now_) {
+        due.push_back(response_heap_.top().second);
+        response_heap_.pop();
+      }
+      std::sort(due.begin(), due.end());
+      due.erase(std::unique(due.begin(), due.end()), due.end());
+      for (RouterId id : due) {
+        NetworkInterface& n = nics_[static_cast<std::size_t>(id)];
+        if (n.next_response_tick() > now_) continue;  // stale entry
+        mature_nic(n, gating, punch);
+        if (n.next_response_tick() < kInfTick)
+          response_heap_.push({n.next_response_tick(), id});
+      }
+    }
+
+    // 3. Epoch boundary: feature capture and DVFS mode selection.
+    // set_active_mode can pull a slow router's edge *earlier* (new period
+    // from now), so process_epoch republishes affected edges before the
+    // due-edge collection below.
+    if (now_ == next_epoch) {
+      process_epoch(now_);
+      next_epoch += config_.epoch_ticks();
+    }
+
+    // 4. Clock edges due now, in router-id order for determinism. The
+    // common case is a single due bucket already in id order (the sweep
+    // pushes reschedules in ascending id), so steal its storage instead of
+    // copying and only sort when a wake push actually broke the order.
+    due.clear();
+    while (!edge_sched_.empty() && edge_sched_.front_tick() <= now_) {
+      const Tick tick = edge_sched_.front_tick();
+      auto& bucket = edge_sched_.front_bucket();
+      if (due.empty()) {
+        due.swap(bucket);
+        std::size_t live = 0;
+        for (const RouterId id : due)
+          if (routers_[static_cast<std::size_t>(id)].next_edge() == tick)
+            due[live++] = id;
+        due.resize(live);
+      } else {
+        for (const RouterId id : bucket)
+          if (routers_[static_cast<std::size_t>(id)].next_edge() == tick)
+            due.push_back(id);
+      }
+      edge_sched_.pop_front();
+    }
+    if (!std::is_sorted(due.begin(), due.end()))
+      std::sort(due.begin(), due.end());
+    due.erase(std::unique(due.begin(), due.end()), due.end());
+    for (std::size_t k = 0; k < due.size(); ++k) {
+      const RouterId id = due[k];
+      if (routers_[static_cast<std::size_t>(id)].next_edge() > now_)
+        continue;  // rescheduled since collection
+      step_router(static_cast<std::size_t>(id), gating);
+      schedule_edge(id);
+      // A pipeline step can wake a neighbour with a zero-length wakeup,
+      // landing a new edge at now_ mid-sweep. The linear sweep visits such
+      // a router this iteration only when its id is still ahead of the
+      // cursor; an id already passed waits for the next same-tick
+      // iteration. Mirror both cases exactly: ids ahead of the cursor join
+      // this sweep; the rest stay bucketed for the next now_ iteration.
+      if (!edge_sched_.empty() && edge_sched_.front_tick() <= now_) {
+        auto& bucket = edge_sched_.front_bucket();
+        std::size_t deferred = 0;
+        for (const RouterId late_id : bucket) {
+          if (routers_[static_cast<std::size_t>(late_id)].next_edge() != now_)
+            continue;  // stale
+          if (late_id > id) {
+            const auto it = std::lower_bound(
+                due.begin() + static_cast<std::ptrdiff_t>(k) + 1, due.end(),
+                late_id);
+            if (it == due.end() || *it != late_id) due.insert(it, late_id);
+          } else {
+            bucket[deferred++] = late_id;
+          }
+        }
+        if (deferred == 0) {
+          edge_sched_.pop_front();
+        } else {
+          bucket.resize(deferred);
+        }
+      }
+    }
+  }
+  return last_event;
 }
 
 void Network::process_epoch(Tick now) {
@@ -226,10 +423,10 @@ void Network::process_epoch(Tick now) {
   policy_->on_epoch_begin(epochs_processed_++);
   const bool extended =
       config_.collect_extended_log || policy_->wants_extended_features();
-  std::vector<EpochFeatures> row;
-  std::vector<std::vector<double>> ext_row;
-  if (config_.collect_epoch_log) row.reserve(routers_.size());
-  if (config_.collect_extended_log) ext_row.reserve(routers_.size());
+  // Build each window's rows in reused scratch so a boundary allocates
+  // nothing beyond what a retained log copy inherently needs.
+  epoch_row_scratch_.clear();
+  ext_rows_scratch_.clear();
 
   for (std::size_t i = 0; i < routers_.size(); ++i) {
     Router& r = routers_[i];
@@ -243,15 +440,14 @@ void Network::process_epoch(Tick now) {
     f.total_off_kcycles = static_cast<double>(r.total_off_ticks(now)) /
                           (1000.0 * static_cast<double>(kBaselinePeriodTicks));
     f.current_ibu = r.epoch_ibu();
-    if (config_.collect_epoch_log) row.push_back(f);
+    if (config_.collect_epoch_log) epoch_row_scratch_.push_back(f);
 
-    std::vector<double> ext;
     if (extended) {
       // Flush static accounting so the per-window off time is current.
       r.account_until(now);
-      ExtendedFeatureInputs in;
+      ExtendedFeatureInputs& in = ext_in_scratch_;
       in.base = f;
-      in.counters = r.epoch_counters();
+      r.epoch_counters_into(&in.counters);
       in.mean_ibu = r.epoch_mean_ibu();
       in.epoch_hops =
           static_cast<double>(r.accountant().hops() - snap.hops);
@@ -268,8 +464,9 @@ void Network::process_epoch(Tick now) {
                     static_cast<double>(window);
       in.mode_index_now = static_cast<double>(mode_index(r.active_mode()));
       in.prev_base = snap.prev_base;
-      ext = build_extended_features(in);
-      if (config_.collect_extended_log) ext_row.push_back(ext);
+      build_extended_features(in, &ext_scratch_);
+      if (config_.collect_extended_log)
+        ext_rows_scratch_.push_back(ext_scratch_);
 
       snap.hops = r.accountant().hops();
       snap.wakeups = r.wakeups();
@@ -281,9 +478,10 @@ void Network::process_epoch(Tick now) {
     }
 
     if (r.state() == RouterState::kActive) {
-      const VfMode mode = policy_->wants_extended_features()
-                              ? policy_->select_mode_extended(r.id(), ext)
-                              : policy_->select_mode(r.id(), f);
+      const VfMode mode =
+          policy_->wants_extended_features()
+              ? policy_->select_mode_extended(r.id(), ext_scratch_)
+              : policy_->select_mode(r.id(), f);
       if (policy_->uses_ml()) {
         r.charge_label();
         ++metrics_.labels_computed;
@@ -292,14 +490,17 @@ void Network::process_epoch(Tick now) {
           mode_index(mode))];
       if (observer_ != nullptr) observer_->on_mode_selected(now, r.id(), mode);
       r.set_active_mode(mode, now);
+      // A mode change can move this router's next edge (a new, possibly
+      // shorter period counts from now); republish it for the event heap.
+      if (indexed_) schedule_edge(r.id());
     }
 
     n.reset_epoch_window();
     r.reset_epoch_window();
   }
-  if (config_.collect_epoch_log) epoch_log_.push_back(std::move(row));
+  if (config_.collect_epoch_log) epoch_log_.push_back(epoch_row_scratch_);
   if (config_.collect_extended_log)
-    extended_log_.push_back(std::move(ext_row));
+    extended_log_.push_back(ext_rows_scratch_);
 }
 
 void Network::compile_metrics(Tick end_tick) {

@@ -3,8 +3,12 @@
 #pragma once
 
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
+#include "src/noc/event_schedule.hpp"
+#include "src/noc/extended_features.hpp"
 #include "src/noc/nic.hpp"
 #include "src/noc/noc_config.hpp"
 #include "src/noc/router.hpp"
@@ -80,6 +84,12 @@ class Network : public RouterEnvironment {
   const Topology& topology() const { return *topo_; }
   Tick now() const { return now_; }
 
+  /// Kernel iterations executed (distinct visits to an event time; a tick
+  /// can be revisited when a same-tick wake lands behind the sweep).
+  std::uint64_t kernel_events() const { return kernel_events_; }
+  /// Router clock edges actually stepped.
+  std::uint64_t edge_steps() const { return edge_steps_; }
+
   /// Installs an event observer (nullptr to remove). The observer must
   /// outlive the run.
   void set_observer(EventObserver* observer) { observer_ = observer; }
@@ -95,12 +105,52 @@ class Network : public RouterEnvironment {
 
  private:
   void run_loop(const Trace& trace, Tick end_tick, bool drain);
+  /// The pre-indexed kernel: O(routers + NICs) min-scan per event, full
+  /// router sweep per tick. Kept behind NocConfig::legacy_linear_kernel for
+  /// one release as the equivalence reference. Returns the last event tick.
+  Tick run_loop_linear(const Trace& trace, Tick end_tick, bool drain);
+  /// The indexed kernel: next event times come from the lazy-invalidation
+  /// event schedule, and only routers/NICs whose event is due at now_ are
+  /// visited. Bit-identical to run_loop_linear (same router-id-order
+  /// tie-breaking at equal ticks). Returns the last event tick.
+  Tick run_loop_indexed(const Trace& trace, Tick end_tick, bool drain);
   void process_epoch(Tick now);
   void compile_metrics(Tick end_tick);
   Tick next_event_after(Tick trace_next) const;
   /// Power Punch: wakes/pins every router on the XY path src -> dst
   /// (inclusive) so a matured packet does not stall hop-by-hop on wakeups.
   void secure_path(RouterId src, RouterId dst, Tick now);
+
+  // --- Shared per-event phases (identical in both kernels) ---
+  /// Phase 1: matured trace entries become pending packets at their NIs.
+  void inject_matured(const std::vector<TraceEntry>& entries,
+                      std::size_t& cursor, bool gating, bool punch);
+  /// Phase 2, one NIC: moves matured responses into its injection queues.
+  void mature_nic(NetworkInterface& n, bool gating, bool punch);
+  /// Phase 4, one router: account, pre-step, inject, pipeline, post-step,
+  /// gate check, advance clock.
+  void step_router(std::size_t i, bool gating);
+
+  // --- Indexed event schedule ---
+  /// Entries are (tick, id) with lazy invalidation: an entry is live iff
+  /// its tick still equals the owner's current next_edge() /
+  /// next_response_tick(); anything stale is discarded when read.
+  /// Rescheduling only ever pushes (it never edits), so the live minimum
+  /// is always present. Clock edges live in a tick-bucketed calendar queue
+  /// (they cluster on few distinct ticks); the rarer NIC responses use a
+  /// plain binary min-heap.
+  using ScheduledEvent = std::pair<Tick, RouterId>;
+  using EventHeap =
+      std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>,
+                          std::greater<ScheduledEvent>>;
+  /// (Re)publishes `r`'s current next_edge() into the edge schedule.
+  void schedule_edge(RouterId r);
+  /// Compacts stale entries out of the front edge bucket(s); returns the
+  /// live minimum edge tick (kInfTick if none).
+  Tick edge_min();
+  /// Pops stale entries off the top; returns the live minimum response
+  /// tick (kInfTick if empty).
+  Tick response_min();
 
   const Topology* topo_;
   NocConfig config_;
@@ -118,10 +168,25 @@ class Network : public RouterEnvironment {
   bool ran_ = false;
   EventObserver* observer_ = nullptr;
 
+  bool indexed_ = false;  ///< Indexed kernel active (schedules maintained).
+  EventSchedule edge_sched_;
+  EventHeap response_heap_;
+  std::uint64_t pending_responses_ = 0;  ///< Scheduled but not yet matured.
+  std::uint64_t kernel_events_ = 0;
+  std::uint64_t edge_steps_ = 0;
+  std::vector<CoreId> dsts_scratch_;  ///< mature_nic punch targets.
+
   Histogram latency_hist_{0.0, 4000.0, 8000};  ///< 0.5 ns bins.
   NetworkMetrics metrics_;
   std::vector<std::vector<EpochFeatures>> epoch_log_;
   std::vector<std::vector<std::vector<double>>> extended_log_;
+
+  /// Reused across epochs so a window boundary allocates nothing unless a
+  /// log actually retains the data.
+  std::vector<EpochFeatures> epoch_row_scratch_;
+  std::vector<std::vector<double>> ext_rows_scratch_;
+  std::vector<double> ext_scratch_;
+  ExtendedFeatureInputs ext_in_scratch_;
 
   /// Cumulative-counter snapshots for per-window deltas (extended set).
   struct RouterSnapshot {

@@ -50,6 +50,14 @@ struct NocConfig {
   bool collect_extended_log = false;  ///< Record the extended (41-feature)
                                       ///< vectors as well.
 
+  // --- Kernel selection ---
+  /// Run the pre-indexed event kernel: a full O(routers + NICs) min-scan
+  /// per event and a full router sweep per clock edge. The indexed kernel
+  /// (event heaps with lazy invalidation) is bit-identical and strictly
+  /// faster; this escape hatch exists for one release so the equivalence
+  /// can be re-checked, then it will be removed.
+  bool legacy_linear_kernel = false;
+
   /// Epoch length in ticks (epochs are measured on the baseline clock so
   /// that all routers share window boundaries).
   Tick epoch_ticks() const { return epoch_cycles * kBaselinePeriodTicks; }

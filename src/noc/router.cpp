@@ -33,6 +33,7 @@ Router::Router(RouterId id, const Topology& topo, const NocConfig& config,
   ep_port_peak_.assign(static_cast<std::size_t>(ports), 0);
   ep_port_arrivals_.assign(static_cast<std::size_t>(ports), 0);
   ep_port_departures_.assign(static_cast<std::size_t>(ports), 0);
+  for (const auto& in : inputs_) total_capacity_ += in.total_capacity();
   next_edge_ = period();
 }
 
@@ -79,8 +80,8 @@ void Router::pre_step(Tick now) {
     idle_cycles_ = 0;
   }
   if (state_ != RouterState::kActive) return;
-  drain_credits(now);
-  drain_flits(now);
+  if (pending_credits_ != 0) drain_credits(now);
+  if (inbound_inflight_ != 0) drain_flits(now);
 }
 
 void Router::drain_credits(Tick now) {
@@ -88,6 +89,8 @@ void Router::drain_credits(Tick now) {
     auto& ch = credit_in_[static_cast<std::size_t>(p)];
     while (ch.ready(now)) {
       const TimedCredit c = ch.pop();
+      --pending_credits_;
+      DOZZ_ASSERT(pending_credits_ >= 0);
       DOZZ_ASSERT(c.port == p);
       auto& out = outputs_[static_cast<std::size_t>(p)];
       DOZZ_ASSERT(c.vc >= 0 && c.vc < static_cast<int>(out.credits.size()));
@@ -108,6 +111,7 @@ void Router::drain_flits(Tick now) {
       tf.flit.eligible_tick =
           now + static_cast<Tick>(config_->pipeline_stages) * period();
       vc.push(tf.flit);
+      ++buffered_flits_;
       ++ep_port_arrivals_[static_cast<std::size_t>(p)];
       --inbound_inflight_;
       DOZZ_ASSERT(inbound_inflight_ >= 0);
@@ -225,6 +229,8 @@ void Router::switch_allocate(Tick now, RouterEnvironment& env) {
     auto& vc = inputs_[static_cast<std::size_t>(in_port)].vc(in_vc);
     const int out_vc = vc.out_vc();
     Flit flit = vc.pop();
+    --buffered_flits_;
+    DOZZ_ASSERT(buffered_flits_ >= 0);
     if (flit.is_tail) {
       if (!local_out) out.vc_busy[static_cast<std::size_t>(out_vc)] = 0;
       vc.release();
@@ -266,6 +272,10 @@ void Router::switch_allocate(Tick now, RouterEnvironment& env) {
 
 void Router::pipeline_step(Tick now, RouterEnvironment& env) {
   if (state_ != RouterState::kActive || stalled(now)) return;
+  // With no flits buffered, route_and_allocate skips every VC (empty VCs
+  // never allocate or secure) and switch_allocate can grant nothing; its
+  // only other touch points are pure const queries (downstream_can_accept).
+  if (buffered_flits_ == 0) return;
   route_and_allocate(now, env);
   switch_allocate(now, env);
 }
@@ -274,14 +284,17 @@ void Router::post_step(Tick now, bool nic_backlog) {
   if (state_ != RouterState::kActive) return;
   bool idle = !nic_backlog && inbound_inflight_ == 0;
   int occupancy = 0;
-  int capacity = 0;
-  for (std::size_t p = 0; p < inputs_.size(); ++p) {
-    const int occ = inputs_[p].total_occupancy();
-    occupancy += occ;
-    capacity += inputs_[p].total_capacity();
-    ep_port_occ_[p] += static_cast<std::uint64_t>(occ);
-    if (occ > ep_port_peak_[p]) ep_port_peak_[p] = occ;
+  const int capacity = total_capacity_;
+  if (buffered_flits_ != 0) {
+    for (std::size_t p = 0; p < inputs_.size(); ++p) {
+      const int occ = inputs_[p].total_occupancy();
+      occupancy += occ;
+      ep_port_occ_[p] += static_cast<std::uint64_t>(occ);
+      if (occ > ep_port_peak_[p]) ep_port_peak_[p] = occ;
+    }
   }
+  // (When nothing is buffered every per-port occupancy is zero, so the
+  // accumulate/peak loop is a no-op; the EMA decay below still runs.)
   ++ep_edges_;
   if (occupancy > 0) idle = false;
   idle_cycles_ = idle ? idle_cycles_ + 1 : 0;
@@ -319,9 +332,7 @@ bool Router::can_gate(Tick now) const {
   if (idle_cycles_ < config_->t_idle_cycles) return false;
   if (inbound_inflight_ != 0) return false;
   if (secured(now)) return false;
-  for (const auto& port : inputs_)
-    if (!port.all_empty()) return false;
-  return true;
+  return buffered_flits_ == 0;
 }
 
 void Router::gate_off(Tick now) {
@@ -377,6 +388,7 @@ void Router::accept_local(int port, int vc, Flit flit, Tick now) {
       now + static_cast<Tick>(config_->pipeline_stages) * period();
   ++ep_injected_;
   ++ep_port_arrivals_[static_cast<std::size_t>(port)];
+  ++buffered_flits_;
   channel.push(flit);
 }
 
@@ -406,6 +418,12 @@ void Router::reset_epoch_window() {
 
 Router::EpochCounters Router::epoch_counters() const {
   EpochCounters c;
+  epoch_counters_into(&c);
+  return c;
+}
+
+void Router::epoch_counters_into(EpochCounters* out) const {
+  EpochCounters& c = *out;
   const std::size_t ports = inputs_.size();
   c.port_occ_mean.resize(ports);
   c.port_occ_peak.resize(ports);
@@ -429,7 +447,6 @@ Router::EpochCounters Router::epoch_counters() const {
   c.ejected = static_cast<double>(ep_ejected_);
   c.secures = static_cast<double>(ep_secures_);
   c.raw_peak_ibu = ep_raw_peak_ibu_;
-  return c;
 }
 
 double Router::lifetime_ibu() const {

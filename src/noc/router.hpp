@@ -81,6 +81,9 @@ class Router {
   FlitChannel& flit_in(int port);
   CreditChannel& credit_in(int port);
   void note_inbound() { ++inbound_inflight_; }
+  /// Called by the network when it pushes into a credit_in channel; lets
+  /// an idle router skip the per-port credit drain scan entirely.
+  void note_credit() { ++pending_credits_; }
 
   // --- The four phases of one clock edge (driven by the network) ---
   /// Completes wakeup if due; drains matured credits and flits.
@@ -158,6 +161,9 @@ class Router {
     double raw_peak_ibu = 0.0;    ///< Unsmoothed single-cycle peak.
   };
   EpochCounters epoch_counters() const;
+  /// In-place variant for the per-epoch hot path: refills `out`'s vectors
+  /// reusing their capacity instead of allocating four fresh ones per call.
+  void epoch_counters_into(EpochCounters* out) const;
 
   /// Whole-run average input-buffer utilization.
   double lifetime_ibu() const;
@@ -211,6 +217,14 @@ class Router {
   std::uint64_t wakeups_ = 0;
   std::uint64_t premature_wakeups_ = 0;
   std::uint64_t mode_switches_ = 0;
+
+  // Idle fast-path bookkeeping: flits currently buffered in the input VCs
+  // and credits queued in the credit_in channels. When both are zero the
+  // drain scans, the whole pipeline step, and the occupancy sweep are
+  // provably no-ops and are skipped (bit-identical by construction).
+  int buffered_flits_ = 0;
+  std::int64_t pending_credits_ = 0;
+  int total_capacity_ = 0;  ///< Sum of input buffer capacities (constant).
 
   std::uint64_t epoch_occ_ = 0;
   std::uint64_t epoch_cap_ = 0;

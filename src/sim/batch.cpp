@@ -1,0 +1,59 @@
+#include "src/sim/batch.hpp"
+
+#include <map>
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/trafficgen/trace.hpp"
+
+namespace dozz {
+
+std::vector<RunOutcome> run_batch(const SimSetup& setup,
+                                  const std::vector<BatchJob>& jobs,
+                                  unsigned threads) {
+  std::vector<RunOutcome> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  const int routers = setup.make_topology().num_routers();
+  for (const BatchJob& job : jobs)
+    DOZZ_REQUIRE(!(job.reactive_twin && job.weights.has_value()));
+
+  ThreadPool pool(threads == 0 ? default_thread_count() : threads);
+
+  // Phase 1: generate each distinct trace once, in parallel. Trace
+  // generation is deterministic (seeded from the benchmark name), so the
+  // shared trace equals what a serial run_policy() call would build.
+  using TraceKey = std::pair<std::string, double>;
+  std::map<TraceKey, Trace> traces;
+  for (const BatchJob& job : jobs)
+    traces.emplace(TraceKey{job.benchmark, job.compression}, Trace{});
+  for (auto& [key, trace] : traces) {
+    const TraceKey* key_ptr = &key;
+    Trace* out = &trace;
+    pool.submit([&setup, key_ptr, out] {
+      *out = make_benchmark_trace(setup, key_ptr->first, key_ptr->second);
+    });
+  }
+  pool.wait_all();
+
+  // Phase 2: one task per job. Everything a task mutates (policy, Network,
+  // regulator, its results slot) is task-local; the setup and traces are
+  // read shared but never written.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const BatchJob* job = &jobs[i];
+    RunOutcome* out = &results[i];
+    const Trace* trace = &traces.at(TraceKey{job->benchmark, job->compression});
+    pool.submit([&setup, routers, job, trace, out] {
+      auto policy = job->reactive_twin
+                        ? make_reactive_twin(job->kind, routers)
+                        : make_policy(job->kind, routers, job->weights);
+      *out = run_simulation(setup, *policy, *trace, job->collect_epoch_log,
+                            job->collect_extended_log);
+    });
+  }
+  pool.wait_all();
+  return results;
+}
+
+}  // namespace dozz

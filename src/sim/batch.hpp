@@ -1,0 +1,45 @@
+// Parallel batch execution of independent simulation runs.
+//
+// A batch is a list of (policy, benchmark, compression) jobs over one
+// SimSetup. run_batch() generates each distinct (benchmark, compression)
+// trace once, shares it read-only across jobs, and runs every job on a
+// work-stealing thread pool with one Network, one policy instance and one
+// regulator per job — no mutable state is shared between concurrent runs,
+// and each run is bit-identical to calling run_policy() serially.
+//
+// Results come back indexed by submission order regardless of the thread
+// count, so callers that print or append in job order are deterministic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/policies.hpp"
+#include "src/sim/runner.hpp"
+#include "src/sim/setup.hpp"
+
+namespace dozz {
+
+/// One simulation run in a batch.
+struct BatchJob {
+  PolicyKind kind = PolicyKind::kBaseline;
+  /// Trained weights for ML policy kinds; ignored otherwise.
+  std::optional<WeightVector> weights;
+  std::string benchmark;
+  double compression = 1.0;
+  bool collect_epoch_log = false;
+  bool collect_extended_log = false;
+  /// Run the policy's reactive twin (training data gathering) instead of
+  /// the policy itself. Mutually exclusive with `weights`.
+  bool reactive_twin = false;
+};
+
+/// Runs every job and returns outcomes in submission order. `threads == 0`
+/// uses default_thread_count() (the DOZZ_THREADS environment variable, or
+/// the hardware concurrency).
+std::vector<RunOutcome> run_batch(const SimSetup& setup,
+                                  const std::vector<BatchJob>& jobs,
+                                  unsigned threads = 0);
+
+}  // namespace dozz

@@ -19,6 +19,11 @@ RunOutcome run_simulation_with_power(const SimSetup& setup,
                                      const PowerModel& power,
                                      bool collect_epoch_log,
                                      bool collect_extended_log) {
+  // Each run deliberately builds a fresh Network rather than reusing one
+  // owned by the setup: a Network is single-shot (run() consumes it), its
+  // hot-path scratch (epoch rows, feature vectors, latency histogram) is
+  // already reused *within* the run, and sharing it across runs would race
+  // when run_batch() executes jobs concurrently on one SimSetup.
   const Topology topo = setup.make_topology();
   NocConfig config = setup.noc;
   if (collect_epoch_log) config.collect_epoch_log = true;

@@ -5,6 +5,7 @@
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
 #include "src/noc/extended_features.hpp"
+#include "src/sim/batch.hpp"
 #include "src/trafficgen/benchmarks.hpp"
 
 namespace dozz {
@@ -18,17 +19,27 @@ Dataset gather_dataset(PolicyKind kind, const SimSetup& setup,
     gather_setup.duration_cycles = options.gather_cycles;
 
   Dataset data(EpochFeatures::names());
-  const int routers = gather_setup.make_topology().num_routers();
+  std::vector<BatchJob> jobs;
   for (const auto& name : benchmarks) {
     for (double compression : options.compressions) {
-      const Trace trace = make_benchmark_trace(gather_setup, name, compression);
-      auto reactive = make_reactive_twin(kind, routers);
-      const RunOutcome outcome = run_simulation(gather_setup, *reactive, trace,
-                                                /*collect_epoch_log=*/true);
-      data.append(dataset_from_log(outcome.epoch_log));
-      DOZZ_LOG_INFO("gathered " << name << " x" << compression << " -> "
-                                << data.size() << " examples");
+      BatchJob job;
+      job.kind = kind;
+      job.benchmark = name;
+      job.compression = compression;
+      job.collect_epoch_log = true;
+      job.reactive_twin = true;
+      jobs.push_back(std::move(job));
     }
+  }
+  // run_batch returns outcomes in submission order, so the dataset rows
+  // append in the same (benchmark, compression) order as the old serial
+  // loop.
+  const std::vector<RunOutcome> outcomes = run_batch(gather_setup, jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    data.append(dataset_from_log(outcomes[i].epoch_log));
+    DOZZ_LOG_INFO("gathered " << jobs[i].benchmark << " x"
+                              << jobs[i].compression << " -> " << data.size()
+                              << " examples");
   }
   return data;
 }
@@ -43,18 +54,21 @@ Dataset gather_extended_dataset(PolicyKind kind, const SimSetup& setup,
 
   const Topology topo = gather_setup.make_topology();
   Dataset data(extended_feature_names(topo.ports_per_router()));
+  std::vector<BatchJob> jobs;
   for (const auto& name : benchmarks) {
     for (double compression : options.compressions) {
-      const Trace trace = make_benchmark_trace(gather_setup, name, compression);
-      auto reactive = make_reactive_twin(kind, topo.num_routers());
-      const RunOutcome outcome =
-          run_simulation(gather_setup, *reactive, trace,
-                         /*collect_epoch_log=*/false,
-                         /*collect_extended_log=*/true);
-      data.append(dataset_from_extended_log(outcome.extended_log,
-                                            topo.ports_per_router()));
+      BatchJob job;
+      job.kind = kind;
+      job.benchmark = name;
+      job.compression = compression;
+      job.collect_extended_log = true;
+      job.reactive_twin = true;
+      jobs.push_back(std::move(job));
     }
   }
+  for (const RunOutcome& outcome : run_batch(gather_setup, jobs))
+    data.append(dataset_from_extended_log(outcome.extended_log,
+                                          topo.ports_per_router()));
   return data;
 }
 

@@ -1,0 +1,124 @@
+// The parallel batch runner must be invisible to results: outcomes arrive
+// in submission order with content identical to serial run_policy() calls,
+// at any thread count. Also smoke-tests the work-stealing pool itself.
+// The BatchDeterminism tests double as the tsan_smoke suite (see
+// tests/CMakeLists.txt): under -DDOZZ_SANITIZE=thread they exercise every
+// cross-thread edge the batch layer has.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/sim/batch.hpp"
+#include "src/sim/runner.hpp"
+#include "src/sim/setup.hpp"
+
+namespace dozz {
+namespace {
+
+SimSetup small_setup() {
+  SimSetup setup;
+  setup.duration_cycles = 5000;
+  setup.noc.epoch_cycles = 500;
+  return setup;
+}
+
+std::vector<BatchJob> sample_jobs() {
+  std::vector<BatchJob> jobs;
+  for (const char* benchmark : {"blackscholes", "fft"}) {
+    for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kPowerGate}) {
+      BatchJob job;
+      job.kind = kind;
+      job.benchmark = benchmark;
+      job.collect_epoch_log = true;
+      jobs.push_back(std::move(job));
+    }
+  }
+  // One compressed run so the batch shares two distinct traces.
+  BatchJob compressed;
+  compressed.kind = PolicyKind::kPowerGate;
+  compressed.benchmark = "fft";
+  compressed.compression = kCompressedFactor;
+  jobs.push_back(std::move(compressed));
+  return jobs;
+}
+
+void expect_same_outcome(const RunOutcome& a, const RunOutcome& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics.packets_delivered, b.metrics.packets_delivered);
+  EXPECT_EQ(a.metrics.flits_delivered, b.metrics.flits_delivered);
+  EXPECT_EQ(a.metrics.sim_ticks, b.metrics.sim_ticks);
+  EXPECT_EQ(a.metrics.static_energy_j, b.metrics.static_energy_j);
+  EXPECT_EQ(a.metrics.dynamic_energy_j, b.metrics.dynamic_energy_j);
+  EXPECT_EQ(a.metrics.gatings, b.metrics.gatings);
+  EXPECT_EQ(a.metrics.wakeups, b.metrics.wakeups);
+  EXPECT_EQ(a.metrics.packet_latency_ns.mean(),
+            b.metrics.packet_latency_ns.mean());
+  ASSERT_EQ(a.epoch_log.size(), b.epoch_log.size());
+}
+
+TEST(BatchDeterminism, SameResultsAtAnyThreadCount) {
+  const SimSetup setup = small_setup();
+  const std::vector<BatchJob> jobs = sample_jobs();
+  const std::vector<RunOutcome> serial = run_batch(setup, jobs, 1);
+  const std::vector<RunOutcome> parallel = run_batch(setup, jobs, 4);
+  ASSERT_EQ(serial.size(), jobs.size());
+  ASSERT_EQ(parallel.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    expect_same_outcome(serial[i], parallel[i]);
+}
+
+TEST(BatchDeterminism, MatchesSerialRunPolicy) {
+  const SimSetup setup = small_setup();
+  const std::vector<BatchJob> jobs = sample_jobs();
+  const std::vector<RunOutcome> batch = run_batch(setup, jobs, 4);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Trace trace =
+        make_benchmark_trace(setup, jobs[i].benchmark, jobs[i].compression);
+    const RunOutcome direct = run_policy(setup, jobs[i].kind, trace,
+                                         std::nullopt,
+                                         jobs[i].collect_epoch_log);
+    expect_same_outcome(direct, batch[i]);
+  }
+}
+
+TEST(BatchDeterminism, EmptyBatchIsEmpty) {
+  EXPECT_TRUE(run_batch(small_setup(), {}, 2).empty());
+}
+
+TEST(ThreadPool, RunsEveryTaskOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_all();
+  EXPECT_EQ(hits.load(), 100);
+  // The pool is reusable after a wait_all barrier.
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_all();
+  EXPECT_EQ(hits.load(), 110);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&completed] {
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_THROW(pool.wait_all(), std::runtime_error);
+  // Remaining tasks still ran to completion.
+  EXPECT_EQ(completed.load(), 20);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dozz

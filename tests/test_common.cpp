@@ -188,6 +188,22 @@ TEST(Histogram, BinningAndOverflow) {
   EXPECT_EQ(h.total(), 6u);
 }
 
+TEST(Histogram, ResetClearsCountsKeepsLayout) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(5.5);
+  h.add(42.0);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bins(), 10u);
+  for (std::size_t b = 0; b < h.bins(); ++b) EXPECT_EQ(h.bin_count(b), 0u);
+  h.add(5.5);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
 TEST(Histogram, QuantileMonotone) {
   Histogram h(0.0, 100.0, 100);
   Rng rng(37);
