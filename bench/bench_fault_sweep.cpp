@@ -1,0 +1,119 @@
+// Robustness sweep: how each power-management policy degrades as link,
+// wake, and regulator fault rates rise. Not a paper table — the paper
+// assumes fault-free hardware — but the resilience contract (DESIGN.md §7)
+// requires every fault to be corrected, degraded around, or terminated via
+// the watchdog; this sweep exercises all three outcomes at a fixed seed.
+// Runs at DOZZ_QUICK-scaled length and doubles as the `fault_smoke` ctest
+// (also the recommended target for -DDOZZ_SANITIZE=undefined builds).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "src/common/error.hpp"
+#include "src/common/table.hpp"
+#include "src/core/baselines.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+
+namespace {
+
+using namespace dozz;
+
+struct FaultScenario {
+  const char* name;
+  double link_rate;
+  double wake_rate;
+  double reg_rate;
+};
+
+FaultConfig scenario_config(const FaultScenario& s) {
+  FaultConfig f;
+  f.enabled = true;
+  f.link_bit_flip_rate = s.link_rate;
+  f.wake_drop_rate = s.wake_rate;
+  f.mode_switch_fail_rate = s.reg_rate;
+  f.droop_rate = s.reg_rate;
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dozz;
+  bench::print_header(
+      "Fault sweep: policy behaviour under link / wake / regulator faults",
+      "robustness extension (no paper table); accounting must close at "
+      "every rate: delivered + corrupted == offered");
+
+  SimSetup base_setup = bench::paper_mesh_setup();
+  const Trace trace = make_benchmark_trace(base_setup, "fft",
+                                           kCompressedFactor);
+
+  const FaultScenario scenarios[] = {
+      {"fault-free", 0.0, 0.0, 0.0},
+      {"link 1e-4", 1e-4, 0.0, 0.0},
+      {"link 1e-3", 1e-3, 0.0, 0.0},
+      {"link 1e-2", 1e-2, 0.0, 0.0},
+      {"wake 1e-2", 0.0, 1e-2, 0.0},
+      {"wake 0.5", 0.0, 0.5, 0.0},
+      {"reg 1e-2", 0.0, 0.0, 1e-2},
+      {"reg 0.5", 0.0, 0.0, 0.5},
+      {"all 1e-3", 1e-3, 1e-3, 1e-3},
+  };
+
+  struct PolicyUnderTest {
+    const char* label;
+    PolicyKind twin_of;  ///< Reactive twin when ML-based; else direct.
+  };
+  const PolicyUnderTest policies[] = {
+      {"Baseline", PolicyKind::kBaseline},
+      {"PG", PolicyKind::kPowerGate},
+      {"DozzNoC-reactive", PolicyKind::kDozzNoc},
+  };
+
+  for (const auto& put : policies) {
+    std::printf("--- %s ---\n", put.label);
+    TextTable table({"scenario", "p50 ns", "p95 ns", "static uJ",
+                     "injected", "retx", "lost", "degraded"});
+    for (const FaultScenario& s : scenarios) {
+      SimSetup setup = base_setup;
+      setup.noc.faults = scenario_config(s);
+      const int routers = setup.make_topology().num_routers();
+      std::unique_ptr<PowerController> policy =
+          policy_uses_ml(put.twin_of)
+              ? make_reactive_twin(put.twin_of, routers)
+              : make_policy(put.twin_of, routers, std::nullopt);
+      try {
+        const NetworkMetrics m =
+            run_simulation(setup, *policy, trace).metrics;
+        const FaultStats& f = m.faults;
+        // The resilience contract, checked at every cell of the sweep.
+        if (m.packets_delivered + f.packets_corrupted != m.packets_offered) {
+          std::fprintf(stderr,
+                       "accounting violation: %s/%s delivered %llu + "
+                       "corrupted %llu != offered %llu\n",
+                       put.label, s.name,
+                       static_cast<unsigned long long>(m.packets_delivered),
+                       static_cast<unsigned long long>(f.packets_corrupted),
+                       static_cast<unsigned long long>(m.packets_offered));
+          return 1;
+        }
+        table.add_row(
+            {s.name, TextTable::fmt(m.latency_p50_ns, 1),
+             TextTable::fmt(m.latency_p95_ns, 1),
+             TextTable::fmt(m.static_energy_j * 1e6, 2),
+             std::to_string(f.total_injected()),
+             std::to_string(f.retransmissions),
+             std::to_string(f.packets_lost),
+             std::to_string(f.routers_gating_degraded +
+                            f.routers_pinned_nominal)});
+      } catch (const SimStallError& e) {
+        // A watchdog trip is a legitimate terminal outcome for brutal
+        // scenarios — report it rather than hanging or crashing.
+        table.add_row({s.name, "STALL", "-", "-", "-", "-", "-", "-"});
+        std::printf("  (watchdog: %s)\n", e.what());
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

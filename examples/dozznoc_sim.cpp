@@ -18,6 +18,16 @@
 //     --baseline                     (also run the always-on baseline and
 //                                     print a savings comparison)
 //     --json                         (emit machine-readable JSON)
+//     --fault-link <rate>            (per-hop link bit-flip probability)
+//     --fault-wake <rate>            (wake-request drop probability)
+//     --fault-reg <rate>             (regulator switch-fail and droop
+//                                     probability per opportunity)
+//     --fault-seed <n>               (fault injector RNG seed)
+//     --watchdog <epochs>            (no-progress watchdog threshold;
+//                                     -1 disables, 0 = auto)
+//
+// Setting any --fault-* rate enables the fault-injection layer; with all
+// rates at zero the simulator is bit-identical to a faults-off build.
 //
 // Example:
 //   dozznoc_sim --policy dozznoc --benchmark x264 --compress 0.25 --baseline
@@ -59,6 +69,11 @@ struct Options {
   std::string routing = "xy";
   bool with_baseline = false;
   bool json = false;
+  double fault_link = 0.0;
+  double fault_wake = 0.0;
+  double fault_reg = 0.0;
+  std::uint64_t fault_seed = 0;  ///< 0 = keep FaultConfig's default seed.
+  int watchdog = 0;              ///< 0 = auto, -1 = off, >0 = epochs.
 };
 
 [[noreturn]] void usage_and_exit() {
@@ -68,7 +83,9 @@ struct Options {
                "  [--benchmark <name> | --fullsystem <name> | --trace <file>]\n"
                "  [--compress f] [--cycles n] [--epoch n] [--tidle n]\n"
                "  [--vcs n] [--depth n] [--routing xy|yx] [--weights file]\n"
-               "  [--baseline] [--json] [--config file]\n");
+               "  [--baseline] [--json] [--config file]\n"
+               "  [--fault-link rate] [--fault-wake rate] [--fault-reg rate]\n"
+               "  [--fault-seed n] [--watchdog epochs]\n");
   std::exit(2);
 }
 
@@ -92,6 +109,11 @@ void apply_config(const std::string& path, Options* opt) {
     else if (key == "routing") opt->routing = value;
     else if (key == "baseline") opt->with_baseline = config_get_bool(c, key, false);
     else if (key == "json") opt->json = config_get_bool(c, key, false);
+    else if (key == "fault_link") opt->fault_link = config_get_double(c, key, 0.0);
+    else if (key == "fault_wake") opt->fault_wake = config_get_double(c, key, 0.0);
+    else if (key == "fault_reg") opt->fault_reg = config_get_double(c, key, 0.0);
+    else if (key == "fault_seed") opt->fault_seed = config_get_u64(c, key, 0);
+    else if (key == "watchdog") opt->watchdog = static_cast<int>(config_get_double(c, key, 0.0));
     else throw InputError("unknown config key: " + key);
   }
 }
@@ -120,6 +142,11 @@ Options parse(int argc, char** argv) {
     else if (a == "--routing") opt.routing = need(i);
     else if (a == "--baseline") opt.with_baseline = true;
     else if (a == "--json") opt.json = true;
+    else if (a == "--fault-link") opt.fault_link = std::strtod(need(i), nullptr);
+    else if (a == "--fault-wake") opt.fault_wake = std::strtod(need(i), nullptr);
+    else if (a == "--fault-reg") opt.fault_reg = std::strtod(need(i), nullptr);
+    else if (a == "--fault-seed") opt.fault_seed = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--watchdog") opt.watchdog = std::atoi(need(i));
     else usage_and_exit();
   }
   return opt;
@@ -154,13 +181,23 @@ int main(int argc, char** argv) {
     if (opt.routing == "yx") setup.noc.routing = RoutingAlgorithm::kYX;
     else if (opt.routing != "xy") usage_and_exit();
 
+    // --- Fault injection (any nonzero rate switches the layer on) ---
+    if (opt.fault_link > 0.0 || opt.fault_wake > 0.0 || opt.fault_reg > 0.0) {
+      FaultConfig& f = setup.noc.faults;
+      f.enabled = true;
+      f.link_bit_flip_rate = opt.fault_link;
+      f.wake_drop_rate = opt.fault_wake;
+      f.mode_switch_fail_rate = opt.fault_reg;
+      f.droop_rate = opt.fault_reg;
+      if (opt.fault_seed != 0) f.seed = opt.fault_seed;
+    }
+    setup.noc.watchdog_epochs = opt.watchdog;
+
     // --- Workload ---
     Trace trace;
     const Topology topo = setup.make_topology();
     if (!opt.trace_file.empty()) {
-      std::ifstream in(opt.trace_file);
-      if (!in) throw InputError("cannot open " + opt.trace_file);
-      trace = Trace::load(in);
+      trace = Trace::load_file(opt.trace_file);
       if (opt.compress != 1.0) trace = trace.compressed(opt.compress);
     } else if (!opt.fullsystem.empty()) {
       trace = generate_fullsystem_trace(fullsystem_profile(opt.fullsystem),
@@ -181,9 +218,7 @@ int main(int argc, char** argv) {
       std::optional<WeightVector> weights;
       if (policy_uses_ml(*kind)) {
         if (!opt.weights_file.empty()) {
-          std::ifstream in(opt.weights_file);
-          if (!in) throw InputError("cannot open " + opt.weights_file);
-          weights = WeightVector::load(in);
+          weights = WeightVector::load_file(opt.weights_file);
         } else {
           if (!opt.json)
             std::printf("training %s (cached under %s)...\n",

@@ -32,11 +32,7 @@ int usage() {
   return 2;
 }
 
-Trace load_trace(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw InputError("cannot open " + path);
-  return Trace::load(in);
-}
+Trace load_trace(const std::string& path) { return Trace::load_file(path); }
 
 void save_trace(const Trace& trace, const std::string& path) {
   std::ofstream out(path);

@@ -53,11 +53,7 @@ int main(int argc, char** argv) {
   std::printf("weights exported to %s\n", weights_path.c_str());
 
   // --- Reload and deploy proactively on a held-out test trace ---
-  WeightVector weights;
-  {
-    std::ifstream in(weights_path);
-    weights = WeightVector::load(in);
-  }
+  const WeightVector weights = WeightVector::load_file(weights_path);
   const std::string test = test_benchmarks().front();
   const Trace trace = make_benchmark_trace(setup, test, kCompressedFactor);
   const NetworkMetrics base =

@@ -1,6 +1,7 @@
 // Error handling helpers shared across all DozzNoC modules.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -22,6 +23,21 @@ class InvariantError : public std::logic_error {
 class InputError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the no-progress watchdog when a simulation stops making
+/// forward progress (no flit ejected for the configured number of epochs
+/// while packets are still outstanding) — a livelock/deadlock diagnosis
+/// with a per-router dump, instead of a silent hang.
+class SimStallError : public std::runtime_error {
+ public:
+  explicit SimStallError(const std::string& what, std::uint64_t stall_tick = 0)
+      : std::runtime_error(what), stall_tick_(stall_tick) {}
+  /// Simulation tick at which the watchdog fired.
+  std::uint64_t stall_tick() const { return stall_tick_; }
+
+ private:
+  std::uint64_t stall_tick_;
 };
 
 namespace detail {

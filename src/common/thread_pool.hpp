@@ -9,13 +9,17 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "src/common/log.hpp"
 
 namespace dozz {
 
@@ -66,7 +70,9 @@ class ThreadPool {
   }
 
   /// Blocks until every submitted task has finished. Rethrows the first
-  /// exception any task raised (remaining tasks still run to completion).
+  /// exception any task raised (remaining tasks still run to completion;
+  /// later task exceptions are counted in suppressed_exceptions() and
+  /// logged rather than silently dropped).
   void wait_all() {
     std::unique_lock<std::mutex> lock(mutex_);
     all_done_.wait(lock, [this] { return pending_ == 0; });
@@ -75,6 +81,14 @@ class ThreadPool {
       first_error_ = nullptr;
       std::rethrow_exception(error);
     }
+  }
+
+  /// Task exceptions swallowed because an earlier task's exception was (or
+  /// will be) the one rethrown by wait_all(). Cumulative over the pool's
+  /// lifetime; each suppressed exception is also logged at info level.
+  std::uint64_t suppressed_exceptions() const {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return suppressed_;
   }
 
  private:
@@ -99,15 +113,30 @@ class ThreadPool {
       }
       try {
         task();
+      } catch (const std::exception& e) {
+        record_error(std::current_exception(), e.what());
       } catch (...) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (!first_error_) first_error_ = std::current_exception();
+        record_error(std::current_exception(), "<non-std exception>");
       }
       {
         std::unique_lock<std::mutex> lock(mutex_);
         --pending_;
         if (pending_ == 0) all_done_.notify_all();
       }
+    }
+  }
+
+  /// Records a task exception: the first one is stashed for wait_all() to
+  /// rethrow; every later one is counted and logged so a multi-failure
+  /// batch is diagnosable from the log even though only one propagates.
+  void record_error(std::exception_ptr error, const char* what) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!first_error_) {
+      first_error_ = error;
+    } else {
+      ++suppressed_;
+      DOZZ_LOG_INFO("thread pool: suppressed task exception #"
+                    << suppressed_ << ": " << what);
     }
   }
 
@@ -128,13 +157,14 @@ class ThreadPool {
 
   std::vector<std::deque<std::function<void()>>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
   std::size_t next_queue_ = 0;
   std::size_t pending_ = 0;
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  std::uint64_t suppressed_ = 0;
 };
 
 }  // namespace dozz

@@ -53,7 +53,9 @@ VfMode ReactiveDvfsPolicy::select_mode(RouterId r,
                r < static_cast<RouterId>(mid_counts_.size()));
   VfMode mode = model_select_.select(features.current_ibu);
   if (turbo_) mode = apply_turbo_rule(mode, mid_counts_[static_cast<std::size_t>(r)]);
-  return mode;
+  // Graceful degradation: a domain pinned to nominal after repeated
+  // regulator faults overrides the DVFS decision (no-op otherwise).
+  return resolve_degraded(r, mode);
 }
 
 ProactiveMlPolicy::ProactiveMlPolicy(PolicyKind kind, WeightVector weights,
@@ -76,7 +78,8 @@ VfMode ProactiveMlPolicy::select_mode(RouterId r,
   VfMode mode = model_select_.select(label);
   if (kind_ == PolicyKind::kMlTurbo)
     mode = apply_turbo_rule(mode, mid_counts_[static_cast<std::size_t>(r)]);
-  return mode;
+  // Graceful degradation: a fault-pinned domain ignores the ML prediction.
+  return resolve_degraded(r, mode);
 }
 
 ProactiveExtendedMlPolicy::ProactiveExtendedMlPolicy(PolicyKind kind,
@@ -113,7 +116,8 @@ VfMode ProactiveExtendedMlPolicy::select_mode_extended(
   VfMode mode = model_select_.select(label);
   if (kind_ == PolicyKind::kMlTurbo)
     mode = apply_turbo_rule(mode, mid_counts_[static_cast<std::size_t>(r)]);
-  return mode;
+  // Graceful degradation: a fault-pinned domain ignores the ML prediction.
+  return resolve_degraded(r, mode);
 }
 
 std::unique_ptr<PowerController> make_policy(

@@ -1,0 +1,38 @@
+#include "src/faults/crc.hpp"
+
+#include <cstring>
+
+namespace dozz {
+
+std::uint16_t crc16(const std::uint8_t* data, std::size_t len) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                           : static_cast<std::uint16_t>(crc << 1);
+  }
+  return crc;
+}
+
+std::uint16_t flit_crc(const Flit& flit) {
+  std::uint8_t buf[32];
+  std::size_t n = 0;
+  auto put = [&](const void* p, std::size_t len) {
+    std::memcpy(buf + n, p, len);
+    n += len;
+  };
+  put(&flit.packet_id, sizeof flit.packet_id);
+  put(&flit.src_core, sizeof flit.src_core);
+  put(&flit.dst_core, sizeof flit.dst_core);
+  put(&flit.packet_size_flits, sizeof flit.packet_size_flits);
+  put(&flit.inject_tick, sizeof flit.inject_tick);
+  const std::uint8_t flags = static_cast<std::uint8_t>(
+      (flit.is_head ? 1 : 0) | (flit.is_tail ? 2 : 0) |
+      (flit.is_response ? 4 : 0));
+  put(&flags, sizeof flags);
+  put(&flit.retry, sizeof flit.retry);
+  return crc16(buf, n);
+}
+
+}  // namespace dozz

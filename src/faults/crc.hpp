@@ -1,0 +1,25 @@
+// CRC-16 used for the end-to-end flit integrity check.
+//
+// The simulator does not carry real payload bits, so link corruption is
+// modelled at the checksum: the injector XORs a nonzero mask into the
+// flit's stored CRC (indistinguishable, to the checker, from payload
+// damage), and ejection recomputes the CRC over the flit's stable identity
+// fields and compares. CRC-16/CCITT-FALSE, bit-for-bit deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/noc/flit.hpp"
+
+namespace dozz {
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
+std::uint16_t crc16(const std::uint8_t* data, std::size_t len);
+
+/// CRC over a flit's immutable identity — the fields set at injection and
+/// unchanged in flight. Mutable routing state (hops, vc_class, the per-hop
+/// timestamps) is excluded so the CRC survives an arbitrary path.
+std::uint16_t flit_crc(const Flit& flit);
+
+}  // namespace dozz

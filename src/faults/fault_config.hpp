@@ -1,0 +1,89 @@
+// Fault-injection configuration and per-fault statistics.
+//
+// DozzNoC's savings rest on mechanisms that are fragile in real silicon:
+// lookahead wake signals, nanosecond-scale SIMO/LDO mode switches, and
+// low-voltage links. The fault layer models the three failure classes the
+// resilience machinery (CRC retransmission, watchdog, policy degradation —
+// see DESIGN.md §7) must survive:
+//   (a) link faults  — bit flips corrupting a flit during link traversal,
+//   (b) wake faults  — dropped or delayed wake requests and routers whose
+//                      power switch sticks after gating off,
+//   (c) regulator faults — failed DVFS mode switches and voltage-droop
+//                      transients that force a domain back to nominal V/F.
+//
+// All rates default to zero and the layer is off by default; a disabled or
+// all-zero configuration leaves the simulation bit-identical to a build
+// without the fault layer (proven by tests/test_kernel_equivalence.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace dozz {
+
+/// Knobs of the fault layer. Every probability is per *opportunity*: per
+/// flit-hop for link faults, per wake request for wake faults, per gating
+/// for stuck faults, per attempted switch / per active router-epoch for
+/// regulator faults. Draws come from one seeded Rng in opportunity order,
+/// so a fixed seed reproduces the exact same fault sequence.
+struct FaultConfig {
+  bool enabled = false;      ///< Master switch; false skips every hook.
+  std::uint64_t seed = 0xD022D02CULL;  ///< Seed of the fault Rng.
+
+  // --- (a) Link faults ---
+  double link_bit_flip_rate = 0.0;  ///< P[flit corrupted] per link hop.
+
+  // --- (b) Wake faults ---
+  double wake_drop_rate = 0.0;   ///< P[wake request lost] per request.
+  double wake_delay_rate = 0.0;  ///< P[wake slowed] per granted request.
+  int wake_delay_cycles = 16;    ///< Extra wakeup latency, baseline cycles.
+  double stuck_gate_rate = 0.0;  ///< P[power switch sticks] per gate-off.
+  int stuck_gate_cycles = 64;    ///< Wake refusal window, baseline cycles.
+
+  // --- (c) Regulator faults ---
+  double mode_switch_fail_rate = 0.0;  ///< P[switch fails] per attempt.
+  double droop_rate = 0.0;  ///< P[voltage droop] per active router-epoch.
+  double droop_depth_v = 0.2;  ///< Droop excursion below the mode voltage.
+
+  // --- Resilience knobs ---
+  int max_retries = 4;          ///< Retransmissions per packet before loss.
+  double retx_backoff_ns = 50.0;  ///< First backoff; doubles per retry.
+  int wake_loss_threshold = 3;  ///< Lost wakes before gating is degraded.
+  int regulator_fault_threshold = 3;  ///< Faults before pinning nominal.
+
+  /// True when any injection rate is nonzero (a zero-rate enabled config
+  /// is a valid determinism check: all hooks run, nothing fires).
+  bool any_rate_nonzero() const {
+    return link_bit_flip_rate > 0.0 || wake_drop_rate > 0.0 ||
+           wake_delay_rate > 0.0 || stuck_gate_rate > 0.0 ||
+           mode_switch_fail_rate > 0.0 || droop_rate > 0.0;
+  }
+};
+
+/// Counters of injected faults and of the resilience actions they
+/// triggered. Every injected fault must show up on the right-hand side as
+/// corrected (retransmission), degraded-around (policy downgrade), or a
+/// watchdog termination — never silent corruption.
+struct FaultStats {
+  // Injected.
+  std::uint64_t flits_corrupted = 0;      ///< Link bit flips applied.
+  std::uint64_t wakes_dropped = 0;        ///< Wake requests lost.
+  std::uint64_t wakes_refused_stuck = 0;  ///< Refused by a stuck switch.
+  std::uint64_t wakes_delayed = 0;        ///< Granted with extra latency.
+  std::uint64_t stuck_gatings = 0;        ///< Gate-offs that stuck.
+  std::uint64_t mode_switch_failures = 0; ///< DVFS switches that failed.
+  std::uint64_t droops = 0;               ///< Voltage-droop transients.
+
+  // Resilience responses.
+  std::uint64_t packets_corrupted = 0;   ///< CRC failures caught at ejection.
+  std::uint64_t retransmissions = 0;     ///< Source-NI retransmits issued.
+  std::uint64_t packets_lost = 0;        ///< Retry budget exhausted.
+  std::uint64_t routers_gating_degraded = 0;  ///< Gating disabled per router.
+  std::uint64_t routers_pinned_nominal = 0;   ///< Domains pinned to nominal.
+
+  std::uint64_t total_injected() const {
+    return flits_corrupted + wakes_dropped + wakes_refused_stuck +
+           wakes_delayed + stuck_gatings + mode_switch_failures + droops;
+  }
+};
+
+}  // namespace dozz

@@ -1,0 +1,92 @@
+#include "src/faults/fault_injector.hpp"
+
+#include "src/common/error.hpp"
+#include "src/regulator/transient.hpp"
+
+namespace dozz {
+
+FaultInjector::FaultInjector(const FaultConfig& config,
+                             const SimoLdoRegulator& regulator)
+    : config_(config), rng_(config.seed) {
+  DOZZ_REQUIRE(config.link_bit_flip_rate >= 0.0 &&
+               config.link_bit_flip_rate <= 1.0);
+  DOZZ_REQUIRE(config.wake_drop_rate >= 0.0 && config.wake_drop_rate <= 1.0);
+  DOZZ_REQUIRE(config.wake_delay_rate >= 0.0 &&
+               config.wake_delay_rate <= 1.0);
+  DOZZ_REQUIRE(config.stuck_gate_rate >= 0.0 &&
+               config.stuck_gate_rate <= 1.0);
+  DOZZ_REQUIRE(config.mode_switch_fail_rate >= 0.0 &&
+               config.mode_switch_fail_rate <= 1.0);
+  DOZZ_REQUIRE(config.droop_rate >= 0.0 && config.droop_rate <= 1.0);
+  DOZZ_REQUIRE(config.droop_depth_v > 0.0);
+  DOZZ_REQUIRE(config.max_retries >= 0);
+  DOZZ_REQUIRE(config.retx_backoff_ns >= 0.0);
+  stuck_ticks_ = static_cast<Tick>(config.stuck_gate_cycles) *
+                 kBaselinePeriodTicks;
+  wake_delay_ticks_ = static_cast<Tick>(config.wake_delay_cycles) *
+                      kBaselinePeriodTicks;
+  // The droop stall is the settling time of the recovery transient — the
+  // LDO hauling the output back up from the droop trough — evaluated once
+  // per mode here so the per-fault cost is a table lookup.
+  for (int m = 0; m < kNumVfModes; ++m) {
+    const TransientWaveform recovery = TransientWaveform::droop(
+        regulator, mode_from_index(m), config.droop_depth_v);
+    droop_stall_ticks_[static_cast<std::size_t>(m)] =
+        ticks_from_ns(recovery.settling_time_ns(0.02 * config.droop_depth_v));
+  }
+}
+
+std::uint16_t FaultInjector::corrupt_link_flit() {
+  if (config_.link_bit_flip_rate <= 0.0) return 0;
+  if (!rng_.next_bool(config_.link_bit_flip_rate)) return 0;
+  ++stats_.flits_corrupted;
+  // Any nonzero mask breaks the checksum; draw one so multi-bit patterns
+  // vary across faults.
+  const auto mask = static_cast<std::uint16_t>(rng_.next_below(0xFFFF) + 1);
+  return mask;
+}
+
+bool FaultInjector::drop_wake() {
+  if (config_.wake_drop_rate <= 0.0) return false;
+  if (!rng_.next_bool(config_.wake_drop_rate)) return false;
+  ++stats_.wakes_dropped;
+  return true;
+}
+
+Tick FaultInjector::wake_extra_ticks() {
+  if (config_.wake_delay_rate <= 0.0) return 0;
+  if (!rng_.next_bool(config_.wake_delay_rate)) return 0;
+  ++stats_.wakes_delayed;
+  return wake_delay_ticks_;
+}
+
+bool FaultInjector::stick_gate() {
+  if (config_.stuck_gate_rate <= 0.0) return false;
+  if (!rng_.next_bool(config_.stuck_gate_rate)) return false;
+  ++stats_.stuck_gatings;
+  return true;
+}
+
+Tick FaultInjector::stuck_ticks() const { return stuck_ticks_; }
+
+bool FaultInjector::fail_mode_switch() {
+  if (config_.mode_switch_fail_rate <= 0.0) return false;
+  if (!rng_.next_bool(config_.mode_switch_fail_rate)) return false;
+  ++stats_.mode_switch_failures;
+  return true;
+}
+
+bool FaultInjector::droop() {
+  if (config_.droop_rate <= 0.0) return false;
+  if (!rng_.next_bool(config_.droop_rate)) return false;
+  ++stats_.droops;
+  return true;
+}
+
+Tick FaultInjector::retx_backoff_ticks(int retry) const {
+  double backoff_ns = config_.retx_backoff_ns;
+  for (int i = 0; i < retry; ++i) backoff_ns *= 2.0;
+  return ticks_from_ns(backoff_ns);
+}
+
+}  // namespace dozz

@@ -1,9 +1,11 @@
 #include "src/ml/ridge.hpp"
 
+#include <fstream>
 #include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <string>
 
 #include "src/common/error.hpp"
 
@@ -29,23 +31,35 @@ void WeightVector::save(std::ostream& out) const {
     out << feature_names[i] << ' ' << weights[i] << '\n';
 }
 
-WeightVector WeightVector::load(std::istream& in) {
+WeightVector WeightVector::load(std::istream& in, const std::string& source) {
   std::string magic;
   std::string version;
   in >> magic >> version;
   if (magic != "dozznoc-weights" || version != "v1")
-    throw InputError("bad weight file header");
+    throw InputError("weight file " + source +
+                     ": bad header (expected \"dozznoc-weights v1\")");
   WeightVector w;
   std::size_t n = 0;
   in >> w.lambda >> n;
-  if (!in || n == 0 || n > 10000) throw InputError("bad weight file size");
+  if (!in || n == 0 || n > 10000)
+    throw InputError("weight file " + source + ": bad weight count " +
+                     (in ? std::to_string(n) : std::string("<unreadable>")) +
+                     " (expected 1..10000)");
   w.feature_names.resize(n);
   w.weights.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     in >> w.feature_names[i] >> w.weights[i];
-    if (!in) throw InputError("truncated weight file");
+    if (!in)
+      throw InputError("weight file " + source + ": truncated at weight " +
+                       std::to_string(i) + " of " + std::to_string(n));
   }
   return w;
+}
+
+WeightVector WeightVector::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open weight file " + path);
+  return load(in, path);
 }
 
 WeightVector RidgeRegression::fit(const Dataset& data, const Options& options) {

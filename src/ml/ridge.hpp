@@ -27,8 +27,13 @@ struct WeightVector {
   /// Dot product of weights and features (the predicted label).
   double predict(const std::vector<double>& features) const;
 
+  /// `source` names the stream in load errors (pass the file path when
+  /// reading from a file).
   void save(std::ostream& out) const;
-  static WeightVector load(std::istream& in);
+  static WeightVector load(std::istream& in,
+                           const std::string& source = "<stream>");
+  /// Opens and loads `path`; errors name the path and the entry offset.
+  static WeightVector load_file(const std::string& path);
 };
 
 /// Closed-form ridge-regression trainer.

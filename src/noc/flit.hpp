@@ -28,6 +28,9 @@ struct Flit {
   Tick enter_tick = 0;     ///< When this flit entered the source router.
   Tick eligible_tick = 0;  ///< Router-local: earliest SA participation time.
   std::uint16_t hops = 0;  ///< Router traversals so far.
+  std::uint16_t crc = 0;   ///< End-to-end checksum (src/faults/crc.hpp);
+                           ///< only computed when fault injection is on.
+  std::uint8_t retry = 0;  ///< Retransmission attempt of this packet copy.
 };
 
 /// A packet waiting in a network-interface injection queue.
@@ -39,6 +42,7 @@ struct PendingPacket {
   std::uint16_t size_flits = 1;
   Tick inject_tick = 0;     ///< When the packet became ready at the NI.
   std::uint16_t sent_flits = 0;  ///< Progress of flit-by-flit injection.
+  std::uint8_t retry = 0;   ///< Retransmission attempt (0 = original send).
 };
 
 }  // namespace dozz

@@ -1,12 +1,42 @@
 #include "src/noc/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <sstream>
 
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
+#include "src/faults/crc.hpp"
 #include "src/noc/extended_features.hpp"
 
 namespace dozz {
+
+namespace {
+
+/// Resolves the effective watchdog threshold: an explicit config value
+/// wins; 0 defers to DOZZ_WATCHDOG_EPOCHS, then to a 64-epoch default when
+/// fault injection is on (a faulty run must terminate, never hang); -1 (or
+/// any negative) disables.
+int resolve_watchdog_epochs(const NocConfig& config) {
+  if (config.watchdog_epochs > 0) return config.watchdog_epochs;
+  if (config.watchdog_epochs < 0) return 0;
+  if (const char* env = std::getenv("DOZZ_WATCHDOG_EPOCHS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return config.faults.enabled ? 64 : 0;
+}
+
+const char* state_label(RouterState s) {
+  switch (s) {
+    case RouterState::kInactive: return "inactive";
+    case RouterState::kWakeup: return "wakeup";
+    case RouterState::kActive: return "active";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Network::Network(const Topology& topo, const NocConfig& config,
                  PowerController& policy, const PowerModel& power,
@@ -24,6 +54,11 @@ Network::Network(const Topology& topo, const NocConfig& config,
     nics_.emplace_back(r, topo, config_);
   }
   snapshots_.resize(static_cast<std::size_t>(n));
+  if (config_.faults.enabled) {
+    injector_ = std::make_unique<FaultInjector>(config_.faults, regulator);
+    for (auto& r : routers_) r.set_fault_injector(injector_.get());
+  }
+  watchdog_epochs_ = resolve_watchdog_epochs(config_);
 }
 
 Router& Network::router(RouterId r) {
@@ -51,8 +86,24 @@ void Network::secure(RouterId r, Tick now) {
   if (target.state() == RouterState::kInactive &&
       policy_->gating_enabled()) {
     target.request_wake(now);
-    if (indexed_) schedule_edge(r);  // wake moved next_edge off kInfTick
-    if (observer_ != nullptr) observer_->on_wakeup_begin(now, r);
+    if (target.state() != RouterState::kInactive) {
+      if (indexed_) schedule_edge(r);  // wake moved next_edge off kInfTick
+      if (observer_ != nullptr) observer_->on_wakeup_begin(now, r);
+    } else if (injector_ != nullptr) {
+      // The wake request was lost (dropped, or refused by a stuck power
+      // switch). The caller's secure() pokes retry on every subsequent
+      // cycle; once losses pass the threshold, stop gating this router —
+      // an unwakeable router is worse than an always-on one.
+      if (!policy_->gating_degraded(r) &&
+          target.wake_faults() >=
+              static_cast<std::uint64_t>(config_.faults.wake_loss_threshold)) {
+        policy_->degrade_gating(r);
+        ++injector_->stats().routers_gating_degraded;
+        DOZZ_LOG_INFO("fault: router " << r << " lost "
+                      << target.wake_faults()
+                      << " wake requests; gating degraded off");
+      }
+    }
   }
 }
 
@@ -75,6 +126,18 @@ void Network::secure_path(RouterId src, RouterId dst, Tick now) {
 void Network::deliver(RouterId r, int port, int vc, Tick arrival,
                       const Flit& flit) {
   Router& target = router(r);
+  if (injector_ != nullptr) {
+    // Link fault: bit flips during this hop's link traversal. The payload
+    // is abstract, so the damage lands on the stored CRC — exactly what
+    // the end-to-end check at ejection sees either way.
+    if (const std::uint16_t mask = injector_->corrupt_link_flit()) {
+      Flit damaged = flit;
+      damaged.crc = static_cast<std::uint16_t>(damaged.crc ^ mask);
+      target.flit_in(port).push({arrival, vc, damaged});
+      target.note_inbound();
+      return;
+    }
+  }
   target.flit_in(port).push({arrival, vc, flit});
   target.note_inbound();
 }
@@ -87,6 +150,24 @@ void Network::send_credit(RouterId upstream, int port, int vc, Tick arrival) {
 
 void Network::eject(RouterId r, const Flit& flit, Tick now) {
   ++metrics_.flits_delivered;
+  if (injector_ != nullptr) {
+    // End-to-end integrity check. A corrupted body flit marks the whole
+    // packet instance; the verdict lands on the tail so the packet is
+    // accepted or rejected atomically.
+    bool corrupted = flit.crc != flit_crc(flit);
+    if (corrupted && !flit.is_tail) corrupt_partial_.insert(flit.packet_id);
+    if (flit.is_tail) {
+      const auto it = corrupt_partial_.find(flit.packet_id);
+      if (it != corrupt_partial_.end()) {
+        corrupted = true;
+        corrupt_partial_.erase(it);
+      }
+      if (corrupted) {
+        handle_corrupt_tail(flit, now);
+        return;
+      }
+    }
+  }
   if (!flit.is_tail) return;
 
   NetworkInterface& sink = nic(r);
@@ -110,6 +191,40 @@ void Network::eject(RouterId r, const Flit& flit, Tick now) {
     ++pending_responses_;
     if (indexed_) response_heap_.push({ready, r});
   }
+}
+
+void Network::handle_corrupt_tail(const Flit& tail, Tick now) {
+  FaultStats& fs = injector_->stats();
+  ++fs.packets_corrupted;
+  if (static_cast<int>(tail.retry) >= config_.faults.max_retries) {
+    ++fs.packets_lost;
+    DOZZ_LOG_INFO("fault: packet " << tail.packet_id << " lost after "
+                  << static_cast<int>(tail.retry) << " retries");
+    return;
+  }
+  // NIC-level retransmission: the source NI re-sends the whole packet as a
+  // fresh instance after an exponential backoff. It shares the response
+  // timer queue, so both kernels schedule it like any matured response
+  // (maturation counts it as offered; this instance stays terminal, which
+  // keeps the drain invariant delivered + corrupted == offered exact).
+  PendingPacket p;
+  p.packet_id = next_packet_id_++;
+  p.src_core = tail.src_core;
+  p.dst_core = tail.dst_core;
+  p.is_response = tail.is_response;
+  p.size_flits = tail.packet_size_flits;
+  p.retry = static_cast<std::uint8_t>(tail.retry + 1);
+  const Tick ready =
+      now + injector_->retx_backoff_ticks(static_cast<int>(tail.retry));
+  p.inject_tick = ready;
+  const RouterId src = topo_->router_of_core(tail.src_core);
+  nic(src).schedule_retransmit(p, ready);
+  ++pending_responses_;
+  if (indexed_) response_heap_.push({ready, src});
+  ++fs.retransmissions;
+  DOZZ_LOG_DEBUG("fault: packet " << tail.packet_id
+                 << " failed CRC; retransmit attempt "
+                 << static_cast<int>(p.retry) << " scheduled");
 }
 
 Tick Network::next_event_after(Tick trace_next) const {
@@ -199,7 +314,8 @@ void Network::step_router(std::size_t i, bool gating) {
   nics_[i].inject_into(r, now_);
   r.pipeline_step(now_, *this);
   r.post_step(now_, nics_[i].has_backlog());
-  if (gating && policy_->may_gate(r.id()) && r.can_gate(now_)) {
+  if (gating && policy_->may_gate(r.id()) && r.can_gate(now_) &&
+      (injector_ == nullptr || !policy_->gating_degraded(r.id()))) {
     r.gate_off(now_);
     if (observer_ != nullptr) observer_->on_gate_off(now_, r.id());
   }
@@ -217,7 +333,9 @@ Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
 
   auto drained = [&]() {
     if (cursor < entries.size()) return false;
-    if (metrics_.packets_delivered != metrics_.packets_offered) return false;
+    if (metrics_.packets_delivered + terminal_failures() !=
+        metrics_.packets_offered)
+      return false;
     for (const auto& n : nics_)
       if (n.has_backlog() || n.next_response_tick() != kInfTick) return false;
     return true;
@@ -312,7 +430,8 @@ Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
     // queues or in-network are offered-but-undelivered, so the only state
     // the counters miss is responses scheduled but not yet matured.
     if (drain && cursor >= entries.size() && pending_responses_ == 0 &&
-        metrics_.packets_delivered == metrics_.packets_offered)
+        metrics_.packets_delivered + terminal_failures() ==
+            metrics_.packets_offered)
       break;
     const Tick trace_next =
         cursor < entries.size() ? entries[cursor].inject_tick() : kInfTick;
@@ -417,7 +536,53 @@ Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
   return last_event;
 }
 
+void Network::check_progress(Tick now) {
+  const std::uint64_t done =
+      metrics_.packets_delivered + terminal_failures();
+  const bool progressed = metrics_.flits_delivered != last_progress_flits_;
+  last_progress_flits_ = metrics_.flits_delivered;
+  if (progressed ||
+      (done == metrics_.packets_offered && pending_responses_ == 0)) {
+    stalled_epochs_ = 0;
+    return;
+  }
+  if (++stalled_epochs_ < watchdog_epochs_) return;
+
+  // Structured per-router diagnostic dump. Emitted unconditionally (the
+  // run is about to die with SimStallError; the dump is the post-mortem).
+  log_line(LogLevel::kInfo,
+           "watchdog: no flit ejected for " +
+               std::to_string(stalled_epochs_) + " epochs at tick " +
+               std::to_string(now) + "; outstanding packets=" +
+               std::to_string(metrics_.packets_offered - done) +
+               " pending_responses=" + std::to_string(pending_responses_));
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    const Router& r = routers_[i];
+    const NetworkInterface& n = nics_[i];
+    if (r.buffered_flits() == 0 && n.backlog() == 0 &&
+        r.state() == RouterState::kActive && !r.stalled(now))
+      continue;  // healthy and empty — not part of the story
+    std::ostringstream os;
+    os << "watchdog: router " << i << " state=" << state_label(r.state())
+       << " mode=" << mode_label(r.active_mode())
+       << " buffered=" << r.buffered_flits() << " nic_backlog=" << n.backlog()
+       << " next_edge=" << r.next_edge() << " stall_until=" << r.stall_until()
+       << " wake_done=" << r.wake_done()
+       << " wake_faults=" << r.wake_faults()
+       << " regulator_faults=" << r.regulator_faults();
+    log_line(LogLevel::kInfo, os.str());
+  }
+  throw SimStallError(
+      "simulation stalled: no flit ejected for " +
+          std::to_string(stalled_epochs_) + " epochs at tick " +
+          std::to_string(now) + " with " +
+          std::to_string(metrics_.packets_offered - done) +
+          " packets outstanding (per-router dump on stderr)",
+      now);
+}
+
 void Network::process_epoch(Tick now) {
+  if (watchdog_epochs_ > 0) check_progress(now);
   if (observer_ != nullptr)
     observer_->on_epoch_boundary(now, epochs_processed_);
   policy_->on_epoch_begin(epochs_processed_++);
@@ -478,21 +643,41 @@ void Network::process_epoch(Tick now) {
     }
 
     if (r.state() == RouterState::kActive) {
-      const VfMode mode =
-          policy_->wants_extended_features()
-              ? policy_->select_mode_extended(r.id(), ext_scratch_)
-              : policy_->select_mode(r.id(), f);
-      if (policy_->uses_ml()) {
-        r.charge_label();
-        ++metrics_.labels_computed;
+      // Fault: a voltage droop pre-empts this window's mode decision — the
+      // domain snaps to nominal and stalls while the LDO recovers.
+      if (injector_ != nullptr && injector_->droop()) {
+        r.apply_droop(now, injector_->droop_stall_ticks(r.active_mode()));
+        if (indexed_) schedule_edge(r.id());
+      } else {
+        const VfMode mode =
+            policy_->wants_extended_features()
+                ? policy_->select_mode_extended(r.id(), ext_scratch_)
+                : policy_->select_mode(r.id(), f);
+        if (policy_->uses_ml()) {
+          r.charge_label();
+          ++metrics_.labels_computed;
+        }
+        ++metrics_.epoch_mode_counts[static_cast<std::size_t>(
+            mode_index(mode))];
+        if (observer_ != nullptr)
+          observer_->on_mode_selected(now, r.id(), mode);
+        r.set_active_mode(mode, now);
+        // A mode change can move this router's next edge (a new, possibly
+        // shorter period counts from now); republish it for the event heap.
+        if (indexed_) schedule_edge(r.id());
       }
-      ++metrics_.epoch_mode_counts[static_cast<std::size_t>(
-          mode_index(mode))];
-      if (observer_ != nullptr) observer_->on_mode_selected(now, r.id(), mode);
-      r.set_active_mode(mode, now);
-      // A mode change can move this router's next edge (a new, possibly
-      // shorter period counts from now); republish it for the event heap.
-      if (indexed_) schedule_edge(r.id());
+      // Repeated regulator faults (failed switches, droops) pin the domain
+      // to the nominal point: every future select_mode resolves through
+      // PowerController::resolve_degraded to kNominalMode.
+      if (injector_ != nullptr && !policy_->pinned_nominal(r.id()) &&
+          r.regulator_faults() >= static_cast<std::uint64_t>(
+                                      config_.faults.regulator_fault_threshold)) {
+        policy_->pin_nominal(r.id());
+        ++injector_->stats().routers_pinned_nominal;
+        DOZZ_LOG_INFO("fault: router " << r.id() << " absorbed "
+                      << r.regulator_faults()
+                      << " regulator faults; pinned to nominal V/F");
+      }
     }
 
     n.reset_epoch_window();
@@ -548,6 +733,8 @@ void Network::compile_metrics(Tick end_tick) {
     metrics_.latency_p95_ns = latency_hist_.quantile(0.95);
     metrics_.latency_p99_ns = latency_hist_.quantile(0.99);
   }
+
+  if (injector_ != nullptr) metrics_.faults = injector_->stats();
 
   DOZZ_LOG_INFO("run complete: policy=" << policy_->name()
                 << " delivered=" << metrics_.packets_delivered << "/"

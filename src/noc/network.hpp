@@ -4,9 +4,11 @@
 
 #include <memory>
 #include <queue>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/faults/fault_injector.hpp"
 #include "src/noc/event_schedule.hpp"
 #include "src/noc/extended_features.hpp"
 #include "src/noc/nic.hpp"
@@ -94,6 +96,13 @@ class Network : public RouterEnvironment {
   /// outlive the run.
   void set_observer(EventObserver* observer) { observer_ = observer; }
 
+  /// The fault injector, or nullptr when the fault layer is disabled.
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+
+  /// Effective no-progress watchdog threshold in epochs (0 = disabled).
+  /// Resolved from NocConfig::watchdog_epochs and DOZZ_WATCHDOG_EPOCHS.
+  int watchdog_epochs() const { return watchdog_epochs_; }
+
   // --- RouterEnvironment ---
   bool downstream_can_accept(RouterId r) const override;
   void secure(RouterId r, Tick now) override;
@@ -116,6 +125,20 @@ class Network : public RouterEnvironment {
   Tick run_loop_indexed(const Trace& trace, Tick end_tick, bool drain);
   void process_epoch(Tick now);
   void compile_metrics(Tick end_tick);
+  /// Resilience: a tail flit failed its CRC check — count the instance and
+  /// schedule a source-NI retransmission (or declare the packet lost once
+  /// the retry budget is exhausted).
+  void handle_corrupt_tail(const Flit& tail, Tick now);
+  /// Packet instances that terminated without delivery (CRC failures);
+  /// the drain invariant is delivered + terminal_failures == offered.
+  std::uint64_t terminal_failures() const {
+    return injector_ == nullptr ? 0 : injector_->stats().packets_corrupted;
+  }
+  /// No-progress watchdog, evaluated at every epoch boundary: throws
+  /// SimStallError with a per-router diagnostic dump after
+  /// watchdog_epochs_ consecutive epochs with zero flit ejections while
+  /// packets are outstanding.
+  void check_progress(Tick now);
   Tick next_event_after(Tick trace_next) const;
   /// Power Punch: wakes/pins every router on the XY path src -> dst
   /// (inclusive) so a matured packet does not stall hop-by-hop on wakeups.
@@ -167,6 +190,16 @@ class Network : public RouterEnvironment {
   std::uint64_t epochs_processed_ = 0;
   bool ran_ = false;
   EventObserver* observer_ = nullptr;
+
+  /// Non-null only when config.faults.enabled; every hook checks this
+  /// pointer so fault-free runs skip the layer entirely.
+  std::unique_ptr<FaultInjector> injector_;
+  /// Packets with a corrupted non-tail flit already ejected, pending their
+  /// tail (the whole instance fails the end-to-end check).
+  std::unordered_set<std::uint64_t> corrupt_partial_;
+  int watchdog_epochs_ = 0;   ///< 0 = watchdog disabled.
+  int stalled_epochs_ = 0;
+  std::uint64_t last_progress_flits_ = 0;
 
   bool indexed_ = false;  ///< Indexed kernel active (schedules maintained).
   EventSchedule edge_sched_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/error.hpp"
+#include "src/faults/crc.hpp"
 
 namespace dozz {
 
@@ -29,6 +30,12 @@ void NetworkInterface::schedule_response(std::uint64_t packet_id,
   p.size_flits = static_cast<std::uint16_t>(config_->response_size_flits);
   p.inject_tick = ready_tick;
   pending_responses_.push({ready_tick, p});
+}
+
+void NetworkInterface::schedule_retransmit(const PendingPacket& packet,
+                                           Tick ready_tick) {
+  DOZZ_REQUIRE(packet.retry > 0);
+  pending_responses_.push({ready_tick, packet});
 }
 
 Tick NetworkInterface::next_response_tick() const {
@@ -91,6 +98,10 @@ void NetworkInterface::inject_into(Router& router, Tick now) {
     flit.is_head = (packet.sent_flits == 0);
     flit.is_tail = (packet.sent_flits + 1 == packet.size_flits);
     flit.inject_tick = packet.inject_tick;
+    if (config_->faults.enabled) {
+      flit.retry = packet.retry;
+      flit.crc = flit_crc(flit);
+    }
     router.accept_local(port, vc, flit, now);
     ++packet.sent_flits;
     if (packet.sent_flits == packet.size_flits) queue.pop_front();

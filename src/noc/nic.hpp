@@ -34,6 +34,13 @@ class NetworkInterface {
   void schedule_response(std::uint64_t packet_id, CoreId responder,
                          CoreId requester, Tick ready_tick);
 
+  /// Schedules a retransmission of a CRC-failed packet to mature at
+  /// `ready_tick` (the retransmit backoff). Shares the response timer
+  /// queue, so the kernels' event scheduling covers it with no new event
+  /// source. `packet.retry` must already be bumped and `packet.inject_tick`
+  /// set to `ready_tick` (latency is measured from the retransmission).
+  void schedule_retransmit(const PendingPacket& packet, Tick ready_tick);
+
   /// Earliest tick at which a scheduled response matures (kInfTick if none).
   Tick next_response_tick() const;
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "src/common/time.hpp"
+#include "src/faults/fault_config.hpp"
 #include "src/topology/topology.hpp"
 
 namespace dozz {
@@ -57,6 +58,16 @@ struct NocConfig {
   /// faster; this escape hatch exists for one release so the equivalence
   /// can be re-checked, then it will be removed.
   bool legacy_linear_kernel = false;
+
+  // --- Fault injection & resilience ---
+  /// Fault layer (off by default; src/faults/fault_config.hpp). When
+  /// disabled the simulation is bit-identical to a build without the layer.
+  FaultConfig faults;
+  /// No-progress watchdog: number of consecutive epochs without a single
+  /// flit ejection (while packets are outstanding) before the run fails
+  /// with SimStallError. 0 = auto (DOZZ_WATCHDOG_EPOCHS env var if set,
+  /// else 64 when faults are enabled, else off); -1 = always off.
+  int watchdog_epochs = 0;
 
   /// Epoch length in ticks (epochs are measured on the baseline clock so
   /// that all routers share window boundaries).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/error.hpp"
+#include "src/faults/fault_injector.hpp"
 
 namespace dozz {
 
@@ -343,16 +344,34 @@ void Router::gate_off(Tick now) {
   idle_cycles_ = 0;
   ++gatings_;
   next_edge_ = kInfTick;
+  // Fault: the power switch can stick open, refusing wake requests for a
+  // window. The wake path retries naturally (secure() pokes every cycle a
+  // packet wants through), so a transient stick costs latency, not loss.
+  if (faults_ != nullptr && faults_->stick_gate())
+    stuck_until_ = now + faults_->stuck_ticks();
 }
 
 void Router::request_wake(Tick now) {
   if (state_ != RouterState::kInactive) return;
+  if (faults_ != nullptr) {
+    if (now < stuck_until_) {
+      faults_->count_stuck_refusal();
+      ++wake_faults_;
+      return;
+    }
+    if (faults_->drop_wake()) {
+      ++wake_faults_;
+      return;
+    }
+  }
   account_until(now);
   if (now - off_since_ < regulator_->breakeven_ticks(mode_))
     ++premature_wakeups_;
   ++wakeups_;
   state_ = RouterState::kWakeup;
-  wake_done_ = now + regulator_->wakeup_penalty_ticks(mode_);
+  Tick penalty = regulator_->wakeup_penalty_ticks(mode_);
+  if (faults_ != nullptr) penalty += faults_->wake_extra_ticks();
+  wake_done_ = now + penalty;
   next_edge_ = wake_done_;
 }
 
@@ -367,9 +386,32 @@ void Router::set_active_mode(VfMode mode, Tick now) {
   }
   if (state_ == RouterState::kWakeup || mode == mode_) return;
   account_until(now);
+  // Fault: the SIMO/LDO handoff can fail mid-switch. The stall is paid
+  // (the regulator did attempt the transition) but the domain stays at its
+  // old operating point; the policy sees the fault via regulator_faults().
+  if (faults_ != nullptr && faults_->fail_mode_switch()) {
+    ++regulator_faults_;
+    stall_until_ = now + regulator_->switch_penalty_ticks(mode);
+    next_edge_ = now + period();
+    return;
+  }
   ++mode_switches_;
   stall_until_ = now + regulator_->switch_penalty_ticks(mode);
   mode_ = mode;
+  next_edge_ = now + period();
+}
+
+void Router::apply_droop(Tick now, Tick recovery_stall) {
+  DOZZ_REQUIRE(state_ == RouterState::kActive);
+  account_until(now);
+  ++regulator_faults_;
+  // A droop below the retention margin is only guaranteed recoverable at
+  // the nominal point: snap the domain there and stall until the LDO
+  // settles (kNominalMode needs no switch stall of its own — the rail mux
+  // is already hauling the output up past every lower mode).
+  mode_ = kNominalMode;
+  if (now + recovery_stall > stall_until_)
+    stall_until_ = now + recovery_stall;
   next_edge_ = now + period();
 }
 

@@ -25,6 +25,7 @@
 
 namespace dozz {
 
+class FaultInjector;
 class Router;
 
 /// Services a router needs from the surrounding network: downstream state
@@ -113,6 +114,23 @@ class Router {
   bool secured(Tick now) const;
   /// Applies a DVFS mode change (T-Switch stall; paper Table III).
   void set_active_mode(VfMode mode, Tick now);
+
+  // --- Fault injection (src/faults; DESIGN.md §7) ---
+  /// Installs the network's shared fault injector. nullptr (the default)
+  /// keeps every fault hook compiled out of the hot path at runtime.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  /// Applies a voltage-droop transient: the domain snaps back to the
+  /// nominal V/F point and the pipeline stalls while the LDO recovers.
+  void apply_droop(Tick now, Tick recovery_stall);
+  /// Wake requests lost to injected faults (drops plus stuck refusals).
+  std::uint64_t wake_faults() const { return wake_faults_; }
+  /// Regulator faults absorbed (failed switches plus droops).
+  std::uint64_t regulator_faults() const { return regulator_faults_; }
+
+  // --- Watchdog diagnostics ---
+  int buffered_flits() const { return buffered_flits_; }
+  Tick stall_until() const { return stall_until_; }
+  Tick wake_done() const { return wake_done_; }
 
   // --- Injection path (used by the network interface) ---
   /// Space check for the local input (`port`, `vc`).
@@ -217,6 +235,11 @@ class Router {
   std::uint64_t wakeups_ = 0;
   std::uint64_t premature_wakeups_ = 0;
   std::uint64_t mode_switches_ = 0;
+
+  FaultInjector* faults_ = nullptr;  ///< Shared injector; nullptr = off.
+  Tick stuck_until_ = 0;  ///< Stuck power switch refuses wakes until here.
+  std::uint64_t wake_faults_ = 0;
+  std::uint64_t regulator_faults_ = 0;
 
   // Idle fast-path bookkeeping: flits currently buffered in the input VCs
   // and credits queued in the credit_in channels. When both are zero the

@@ -11,4 +11,28 @@ VfMode mode_for_utilization(double ibu) {
   return VfMode::kV12;
 }
 
+void PowerController::degrade_gating(RouterId r) { gating_degraded_.insert(r); }
+
+bool PowerController::gating_degraded(RouterId r) const {
+  return gating_degraded_.count(r) != 0;
+}
+
+void PowerController::pin_nominal(RouterId r) { pinned_nominal_.insert(r); }
+
+bool PowerController::pinned_nominal(RouterId r) const {
+  return pinned_nominal_.count(r) != 0;
+}
+
+std::size_t PowerController::degraded_router_count() const {
+  std::set<RouterId> all = gating_degraded_;
+  all.insert(pinned_nominal_.begin(), pinned_nominal_.end());
+  return all.size();
+}
+
+VfMode PowerController::resolve_degraded(RouterId r, VfMode selected) const {
+  if (!pinned_nominal_.empty() && pinned_nominal_.count(r) != 0)
+    return kNominalMode;
+  return selected;
+}
+
 }  // namespace dozz

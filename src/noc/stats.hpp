@@ -4,11 +4,13 @@
 
 #include <array>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/common/stats.hpp"
 #include "src/common/time.hpp"
+#include "src/faults/fault_config.hpp"
 #include "src/regulator/vf_mode.hpp"
 #include "src/topology/topology.hpp"
 
@@ -90,6 +92,32 @@ class PowerController {
   /// (0-based). Lets policies keep window-aligned state (oracles, global
   /// coordination baselines).
   virtual void on_epoch_begin(std::uint64_t /*ended_epoch_index*/) {}
+
+  // --- Graceful degradation under faults (DESIGN.md §7) ---
+  // The network reports persistent hardware faults here; every policy then
+  // honours the downgrade: a wake-lossy router is never gated again, and a
+  // fault-ridden V/F domain is pinned to the nominal point. Both sets are
+  // empty in fault-free runs, so the fast paths are untouched.
+
+  /// Permanently disables gating for `r` (repeated wake losses observed).
+  void degrade_gating(RouterId r);
+  /// True when gating has been degraded away for `r`.
+  bool gating_degraded(RouterId r) const;
+  /// Permanently pins `r`'s domain to the nominal V/F point.
+  void pin_nominal(RouterId r);
+  /// True when `r` has been pinned to nominal.
+  bool pinned_nominal(RouterId r) const;
+  /// Routers affected by either downgrade.
+  std::size_t degraded_router_count() const;
+
+ protected:
+  /// Applies the pin-nominal downgrade to a mode decision. Concrete
+  /// policies route their select_mode result through this.
+  VfMode resolve_degraded(RouterId r, VfMode selected) const;
+
+ private:
+  std::set<RouterId> gating_degraded_;
+  std::set<RouterId> pinned_nominal_;
 };
 
 /// Aggregate results of one simulation run.
@@ -136,6 +164,10 @@ struct NetworkMetrics {
   double latency_p50_ns = 0.0;
   double latency_p95_ns = 0.0;
   double latency_p99_ns = 0.0;
+
+  // Fault-injection and resilience counters (all zero when the fault
+  // layer is disabled or nothing fired).
+  FaultStats faults;
 
   /// Delivered flit throughput in flits per nanosecond.
   double throughput_flits_per_ns() const {

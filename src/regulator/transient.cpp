@@ -75,4 +75,12 @@ TransientWaveform TransientWaveform::dvfs_switch(const SimoLdoRegulator& reg,
                            reg.switch_latency_ns(from, to));
 }
 
+TransientWaveform TransientWaveform::droop(const SimoLdoRegulator& reg,
+                                           VfMode at, double depth_v) {
+  DOZZ_REQUIRE(depth_v > 0.0);
+  const double target = vf_point(at).voltage_v;
+  return TransientWaveform(target - depth_v, target,
+                           reg.worst_switch_latency_ns());
+}
+
 }  // namespace dozz

@@ -51,6 +51,13 @@ class TransientWaveform {
   static TransientWaveform dvfs_switch(const SimoLdoRegulator& reg,
                                        VfMode from, VfMode to);
 
+  /// Convenience: the recovery transient after a voltage droop at `at` —
+  /// the LDO hauling the output back up from `depth_v` below the mode
+  /// voltage, settling within the regulator's worst-case switch latency.
+  /// Used by the fault layer to size the droop pipeline stall.
+  static TransientWaveform droop(const SimoLdoRegulator& reg, VfMode at,
+                                 double depth_v);
+
  private:
   double v0_;
   double v1_;

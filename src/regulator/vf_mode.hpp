@@ -30,6 +30,12 @@ inline constexpr VfMode kTopMode = VfMode::kV12;
 /// Lowest active mode: 0.8 V / 1 GHz.
 inline constexpr VfMode kBottomMode = VfMode::kV08;
 
+/// The nominal (fail-safe) operating point. A domain that suffers repeated
+/// regulator faults, or is recovering from a voltage droop, is forced back
+/// here: the highest V/F pair is the only point guaranteed to meet timing
+/// regardless of what the regulator is doing below it.
+inline constexpr VfMode kNominalMode = kTopMode;
+
 /// One operating point of the regulator.
 struct VfPoint {
   double voltage_v;       ///< Supply voltage in volts.

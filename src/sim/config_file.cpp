@@ -17,7 +17,7 @@ std::string trim(const std::string& raw) {
 }
 }  // namespace
 
-ConfigMap parse_config(std::istream& in) {
+ConfigMap parse_config(std::istream& in, const std::string& source) {
   ConfigMap config;
   std::string line;
   int line_no = 0;
@@ -29,13 +29,13 @@ ConfigMap parse_config(std::istream& in) {
     if (trimmed.empty()) continue;
     const auto eq = trimmed.find('=');
     if (eq == std::string::npos)
-      throw InputError("config line " + std::to_string(line_no) +
-                       ": expected key = value");
+      throw InputError("config file " + source + " line " +
+                       std::to_string(line_no) + ": expected key = value");
     const std::string key = trim(trimmed.substr(0, eq));
     const std::string value = trim(trimmed.substr(eq + 1));
     if (key.empty())
-      throw InputError("config line " + std::to_string(line_no) +
-                       ": empty key");
+      throw InputError("config file " + source + " line " +
+                       std::to_string(line_no) + ": empty key");
     config[key] = value;
   }
   return config;
@@ -44,7 +44,7 @@ ConfigMap parse_config(std::istream& in) {
 ConfigMap load_config_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw InputError("cannot open config file " + path);
-  return parse_config(in);
+  return parse_config(in, path);
 }
 
 std::string config_get(const ConfigMap& config, const std::string& key,

@@ -18,10 +18,14 @@ namespace dozz {
 
 using ConfigMap = std::map<std::string, std::string>;
 
-/// Parses a config stream. Throws dozz::InputError on malformed lines.
-ConfigMap parse_config(std::istream& in);
+/// Parses a config stream. Throws dozz::InputError on malformed lines;
+/// `source` names the stream in those errors (pass the file path when
+/// reading from a file).
+ConfigMap parse_config(std::istream& in,
+                       const std::string& source = "<stream>");
 
-/// Loads and parses a config file by path.
+/// Loads and parses a config file by path; errors name the path and the
+/// 1-based line number.
 ConfigMap load_config_file(const std::string& path);
 
 /// Typed lookup helpers with defaults.

@@ -38,11 +38,13 @@ WeightVector load_or_train(PolicyKind kind, const SimSetup& setup,
     std::ifstream in(path);
     if (in) {
       try {
-        WeightVector w = WeightVector::load(in);
+        WeightVector w = WeightVector::load(in, path);
         DOZZ_LOG_INFO("loaded cached weights from " << path);
         return w;
-      } catch (const InputError&) {
-        // Corrupt cache entry: fall through and retrain.
+      } catch (const InputError& e) {
+        // Corrupt cache entry: fall through and retrain (but say why, with
+        // the offending path, so a bad cache is discoverable).
+        DOZZ_LOG_INFO("ignoring corrupt weight cache: " << e.what());
       }
     }
   }

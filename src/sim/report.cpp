@@ -91,7 +91,30 @@ std::string metrics_to_json(const NetworkMetrics& m) {
     if (i > 0) os << ',';
     os << m.epoch_mode_counts[i];
   }
-  os << "]}";
+  os << ']';
+
+  // Fault-injection stats only appear when something was injected, so
+  // fault-free JSON output is byte-identical to pre-fault-layer builds.
+  if (m.faults.total_injected() > 0) {
+    const FaultStats& f = m.faults;
+    bool ffirst = true;
+    os << ",\"faults\":{";
+    field(os, "flits_corrupted", f.flits_corrupted, &ffirst);
+    field(os, "packets_corrupted", f.packets_corrupted, &ffirst);
+    field(os, "retransmissions", f.retransmissions, &ffirst);
+    field(os, "packets_lost", f.packets_lost, &ffirst);
+    field(os, "wakes_dropped", f.wakes_dropped, &ffirst);
+    field(os, "wakes_delayed", f.wakes_delayed, &ffirst);
+    field(os, "wakes_refused_stuck", f.wakes_refused_stuck, &ffirst);
+    field(os, "stuck_gatings", f.stuck_gatings, &ffirst);
+    field(os, "mode_switch_failures", f.mode_switch_failures, &ffirst);
+    field(os, "droops", f.droops, &ffirst);
+    field(os, "routers_gating_degraded", f.routers_gating_degraded, &ffirst);
+    field(os, "routers_pinned_nominal", f.routers_pinned_nominal, &ffirst);
+    os << '}';
+  }
+
+  os << '}';
   return os.str();
 }
 
@@ -120,6 +143,16 @@ void write_text_report(std::ostream& out, const RunOutcome& o) {
       << m.gatings << " gatings, " << m.wakeups << " wakeups ("
       << m.premature_wakeups << " premature), " << m.mode_switches
       << " mode switches, " << m.labels_computed << " labels\n";
+  if (m.faults.total_injected() > 0) {
+    const FaultStats& f = m.faults;
+    out << "  faults: " << f.flits_corrupted << " flit corruptions ("
+        << f.packets_corrupted << " packets, " << f.retransmissions
+        << " retransmits, " << f.packets_lost << " lost), "
+        << f.wakes_dropped + f.wakes_delayed + f.wakes_refused_stuck
+        << " wake faults, " << f.mode_switch_failures + f.droops
+        << " regulator faults; degraded: " << f.routers_gating_degraded
+        << " gating, " << f.routers_pinned_nominal << " pinned nominal\n";
+  }
 }
 
 void write_comparison_report(std::ostream& out, const RunOutcome& baseline,

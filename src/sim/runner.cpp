@@ -31,10 +31,18 @@ RunOutcome run_simulation_with_power(const SimSetup& setup,
 
   SimoLdoRegulator regulator;
   Network net(topo, config, policy, power, regulator);
-  if (setup.run_to_drain)
-    net.run_until_drained(trace, setup.max_drain_tick());
-  else
-    net.run(trace, setup.end_tick());
+  try {
+    if (setup.run_to_drain)
+      net.run_until_drained(trace, setup.max_drain_tick());
+    else
+      net.run(trace, setup.end_tick());
+  } catch (const SimStallError& e) {
+    // Re-raise with run identity prefixed: a watchdog trip inside a batch
+    // sweep must say *which* policy/trace stalled.
+    throw SimStallError("policy " + policy.name() + " on trace " +
+                            trace.name() + ": " + e.what(),
+                        e.stall_tick());
+  }
 
   RunOutcome outcome;
   outcome.policy = policy.name();

@@ -1,8 +1,10 @@
 #include "src/trafficgen/trace.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <string>
 
 #include "src/common/error.hpp"
 
@@ -51,26 +53,38 @@ void Trace::save(std::ostream& out) const {
   }
 }
 
-Trace Trace::load(std::istream& in) {
+Trace Trace::load(std::istream& in, const std::string& source) {
   std::string magic;
   std::string version;
   std::string name;
   std::size_t count = 0;
   in >> magic >> version >> name >> count;
   if (magic != "dozznoc-trace" || version != "v1")
-    throw InputError("bad trace file header");
+    throw InputError("trace file " + source +
+                     ": bad header (expected \"dozznoc-trace v1\")");
   Trace trace(name);
   for (std::size_t i = 0; i < count; ++i) {
     TraceEntry e;
     char type = 0;
     in >> e.src >> e.dst >> type >> e.inject_ns;
-    if (!in) throw InputError("truncated trace file");
-    if (type != 'Q' && type != 'R') throw InputError("bad trace entry type");
+    if (!in)
+      throw InputError("trace file " + source + ": truncated at entry " +
+                       std::to_string(i) + " of " + std::to_string(count));
+    if (type != 'Q' && type != 'R')
+      throw InputError("trace file " + source + ": bad entry type '" +
+                       std::string(1, type) + "' at entry " +
+                       std::to_string(i) + " (expected Q or R)");
     e.is_response = (type == 'R');
     trace.add(e);
   }
   trace.sort_by_time();
   return trace;
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open trace file " + path);
+  return load(in, path);
 }
 
 }  // namespace dozz

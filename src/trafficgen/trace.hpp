@@ -51,9 +51,12 @@ class Trace {
   double offered_load_pkts_per_core_us(int num_cores) const;
 
   /// Text round trip; format: one "src dst type time_ns" line per entry,
-  /// with a one-line header.
+  /// with a one-line header. `source` names the stream in load errors
+  /// (pass the file path when reading from a file).
   void save(std::ostream& out) const;
-  static Trace load(std::istream& in);
+  static Trace load(std::istream& in, const std::string& source = "<stream>");
+  /// Opens and loads `path`; errors name the path and the entry offset.
+  static Trace load_file(const std::string& path);
 
  private:
   std::string name_;

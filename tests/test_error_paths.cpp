@@ -1,0 +1,158 @@
+// Error-path hardening: loaders must fail with typed exceptions that name
+// the offending file and position, and the thread pool must account for
+// every task exception (not just the one wait_all rethrows).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/ml/ridge.hpp"
+#include "src/sim/config_file.hpp"
+#include "src/trafficgen/trace.hpp"
+
+namespace dozz {
+namespace {
+
+/// Writes `content` to a fresh file in the test temp dir and returns its
+/// path. Files are cleaned up by the fixture.
+class ErrorPathTest : public ::testing::Test {
+ protected:
+  std::string write_file(const std::string& name,
+                         const std::string& content) {
+    const std::filesystem::path path =
+        std::filesystem::temp_directory_path() /
+        ("dozz_error_paths_" + name);
+    std::ofstream out(path);
+    out << content;
+    out.close();
+    created_.push_back(path);
+    return path.string();
+  }
+
+  void TearDown() override {
+    for (const auto& p : created_) std::filesystem::remove(p);
+  }
+
+  std::vector<std::filesystem::path> created_;
+};
+
+void expect_input_error_mentions(const std::function<void()>& fn,
+                                 const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected InputError mentioning \"" << needle << "\"";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+// --- Trace files ---
+
+TEST_F(ErrorPathTest, TraceMissingFileNamesPath) {
+  expect_input_error_mentions(
+      [] { Trace::load_file("/nonexistent/dir/t.trace"); },
+      "/nonexistent/dir/t.trace");
+}
+
+TEST_F(ErrorPathTest, TraceBadHeaderNamesPath) {
+  const std::string path = write_file("bad_header.trace", "not-a-trace v9\n");
+  expect_input_error_mentions([&] { Trace::load_file(path); }, path);
+  expect_input_error_mentions([&] { Trace::load_file(path); }, "header");
+}
+
+TEST_F(ErrorPathTest, TraceTruncationReportsEntryOffset) {
+  const std::string path = write_file(
+      "truncated.trace",
+      "dozznoc-trace v1 demo 3\n0 1 Q 10.0\n1 2 R 20.0\n");
+  expect_input_error_mentions([&] { Trace::load_file(path); },
+                              "truncated at entry 2 of 3");
+  expect_input_error_mentions([&] { Trace::load_file(path); }, path);
+}
+
+TEST_F(ErrorPathTest, TraceBadEntryTypeReportsOffset) {
+  const std::string path = write_file(
+      "bad_type.trace", "dozznoc-trace v1 demo 1\n0 1 X 10.0\n");
+  expect_input_error_mentions([&] { Trace::load_file(path); },
+                              "bad entry type 'X' at entry 0");
+}
+
+TEST_F(ErrorPathTest, TraceGoodFileStillLoads) {
+  const std::string path = write_file(
+      "good.trace", "dozznoc-trace v1 demo 2\n0 1 Q 10.0\n1 2 R 5.0\n");
+  const Trace t = Trace::load_file(path);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.name(), "demo");
+  // Entries come back time-sorted.
+  EXPECT_EQ(t.entries().front().inject_ns, 5.0);
+}
+
+// --- Weight files ---
+
+TEST_F(ErrorPathTest, WeightsMissingFileNamesPath) {
+  expect_input_error_mentions(
+      [] { WeightVector::load_file("/nonexistent/w.txt"); },
+      "/nonexistent/w.txt");
+}
+
+TEST_F(ErrorPathTest, WeightsBadHeaderNamesPath) {
+  const std::string path = write_file("w_hdr.txt", "garbage\n");
+  expect_input_error_mentions([&] { WeightVector::load_file(path); }, path);
+}
+
+TEST_F(ErrorPathTest, WeightsBadCountReported) {
+  const std::string path =
+      write_file("w_count.txt", "dozznoc-weights v1\n0.5\n0\n");
+  expect_input_error_mentions([&] { WeightVector::load_file(path); },
+                              "bad weight count 0");
+}
+
+TEST_F(ErrorPathTest, WeightsTruncationReportsOffset) {
+  const std::string path = write_file(
+      "w_trunc.txt", "dozznoc-weights v1\n0.5\n3\nbias 1.0\nibu 2.0\n");
+  expect_input_error_mentions([&] { WeightVector::load_file(path); },
+                              "truncated at weight 2 of 3");
+}
+
+// --- Config files ---
+
+TEST_F(ErrorPathTest, ConfigMissingFileNamesPath) {
+  expect_input_error_mentions([] { load_config_file("/nonexistent/c.cfg"); },
+                              "/nonexistent/c.cfg");
+}
+
+TEST_F(ErrorPathTest, ConfigBadLineNamesPathAndLine) {
+  const std::string path = write_file(
+      "bad.cfg", "# comment\npolicy = dozznoc\nthis line has no equals\n");
+  expect_input_error_mentions([&] { load_config_file(path); }, path);
+  expect_input_error_mentions([&] { load_config_file(path); }, "line 3");
+}
+
+// --- Thread pool exception accounting ---
+
+TEST(ThreadPoolErrors, SuppressedExceptionsAreCounted) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.suppressed_exceptions(), 0u);
+  for (int i = 0; i < 3; ++i)
+    pool.submit([] { throw std::runtime_error("task failure"); });
+  EXPECT_THROW(pool.wait_all(), std::runtime_error);
+  // One exception propagated; the other two must be accounted for.
+  EXPECT_EQ(pool.suppressed_exceptions(), 2u);
+}
+
+TEST(ThreadPoolErrors, SuccessfulTasksSuppressNothing) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  pool.wait_all();
+  EXPECT_EQ(pool.suppressed_exceptions(), 0u);
+}
+
+}  // namespace
+}  // namespace dozz

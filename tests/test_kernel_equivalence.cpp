@@ -72,6 +72,19 @@ void expect_metrics_identical(const NetworkMetrics& a,
   EXPECT_EQ(a.latency_p50_ns, b.latency_p50_ns);
   EXPECT_EQ(a.latency_p95_ns, b.latency_p95_ns);
   EXPECT_EQ(a.latency_p99_ns, b.latency_p99_ns);
+  EXPECT_EQ(a.faults.flits_corrupted, b.faults.flits_corrupted);
+  EXPECT_EQ(a.faults.wakes_dropped, b.faults.wakes_dropped);
+  EXPECT_EQ(a.faults.wakes_refused_stuck, b.faults.wakes_refused_stuck);
+  EXPECT_EQ(a.faults.wakes_delayed, b.faults.wakes_delayed);
+  EXPECT_EQ(a.faults.stuck_gatings, b.faults.stuck_gatings);
+  EXPECT_EQ(a.faults.mode_switch_failures, b.faults.mode_switch_failures);
+  EXPECT_EQ(a.faults.droops, b.faults.droops);
+  EXPECT_EQ(a.faults.packets_corrupted, b.faults.packets_corrupted);
+  EXPECT_EQ(a.faults.retransmissions, b.faults.retransmissions);
+  EXPECT_EQ(a.faults.packets_lost, b.faults.packets_lost);
+  EXPECT_EQ(a.faults.routers_gating_degraded,
+            b.faults.routers_gating_degraded);
+  EXPECT_EQ(a.faults.routers_pinned_nominal, b.faults.routers_pinned_nominal);
 }
 
 void expect_epoch_logs_identical(
@@ -93,13 +106,16 @@ void expect_epoch_logs_identical(
 
 RunOutcome run_kernel(PolicyKind kind, const std::string& benchmark,
                       double compression, bool legacy, bool drain,
-                      bool collect_extended) {
+                      bool collect_extended, bool faults_armed = false) {
   SimSetup setup;
   setup.duration_cycles = 6000;
   setup.run_to_drain = drain;
   setup.noc.legacy_linear_kernel = legacy;
   setup.noc.epoch_cycles = 500;
   if (collect_extended) setup.noc.collect_extended_log = true;
+  // Armed = fault layer on (hooks live, CRC stamped) but all rates zero:
+  // must be bit-identical to a faults-off run.
+  if (faults_armed) setup.noc.faults.enabled = true;
 
   const Trace trace = make_benchmark_trace(setup, benchmark, compression);
   const int routers = setup.make_topology().num_routers();
@@ -150,6 +166,27 @@ INSTANTIATE_TEST_SUITE_P(
       return sanitize(policy_name(std::get<0>(info.param)) + "_" +
                       std::get<1>(info.param));
     });
+
+// The fault-injection layer with every rate at zero must be invisible:
+// same metrics and epoch logs as a faults-off run, bit for bit, in both
+// kernels. (A zero-rate draw consumes no RNG and no hook changes state, so
+// the only difference is dead branches and CRC stamping.)
+TEST(KernelEquivalenceFaults, ArmedZeroRatesBitIdenticalToDisabled) {
+  for (PolicyKind kind :
+       {PolicyKind::kBaseline, PolicyKind::kPowerGate, PolicyKind::kDozzNoc}) {
+    for (bool legacy : {true, false}) {
+      const RunOutcome off =
+          run_kernel(kind, "fft", kCompressedFactor, legacy,
+                     /*drain=*/true, /*collect_extended=*/false);
+      const RunOutcome armed =
+          run_kernel(kind, "fft", kCompressedFactor, legacy,
+                     /*drain=*/true, /*collect_extended=*/false,
+                     /*faults_armed=*/true);
+      expect_metrics_identical(off.metrics, armed.metrics);
+      expect_epoch_logs_identical(off.epoch_log, armed.epoch_log);
+    }
+  }
+}
 
 // The extended (41-feature) log path shares the scratch buffers the fast
 // kernel introduced; it must replay identically too.
