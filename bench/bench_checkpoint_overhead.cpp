@@ -1,0 +1,135 @@
+// Checkpoint cost model: what does periodic checkpointing add to a run?
+//
+// Three numbers matter for the supervised sweep design (DESIGN.md §8):
+//   1. save latency   — one Network::save_checkpoint into memory and the
+//                       framed atomic file write;
+//   2. restore latency — file -> validated payload -> restored Network;
+//   3. steady-state overhead — wall-clock cost of checkpointing every
+//                       N epochs relative to the same run without it.
+//
+// Acceptance: at the sweep default (every 10 epochs) the overhead must stay
+// under 5%. The bench prints PASS/FAIL and exits nonzero on FAIL, so it
+// doubles as the `ckpt_overhead` ctest. DOZZ_QUICK shortens the run.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "src/ckpt/checkpoint.hpp"
+#include "src/ckpt/serial.hpp"
+#include "src/core/policies.hpp"
+#include "src/noc/network.hpp"
+#include "src/regulator/simo_ldo.hpp"
+
+namespace {
+
+using namespace dozz;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One full run under `control`; returns best-observed wall seconds.
+double timed_run(const SimSetup& setup, const Trace& trace,
+                 const RunControl& control, int reps) {
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto policy =
+        make_policy(PolicyKind::kPowerGate,
+                   setup.make_topology().num_routers(), std::nullopt);
+    PowerModel power;
+    const auto start = std::chrono::steady_clock::now();
+    run_simulation_controlled(setup, *policy, trace, power, control);
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dozz;
+  bench::print_header("checkpoint/restore overhead",
+                      "robustness addition; no paper counterpart");
+
+  SimSetup setup = bench::paper_mesh_setup();
+  const Trace trace = make_benchmark_trace(setup, "fft", kCompressedFactor);
+  const std::string ckpt_path = "bench_checkpoint_overhead.ckpt";
+
+  // --- 1+2: single save and restore latency, and checkpoint size ---
+  {
+    const Topology topo = setup.make_topology();
+    auto policy = make_policy(PolicyKind::kPowerGate, topo.num_routers(),
+                              std::nullopt);
+    PowerModel power;
+    SimoLdoRegulator regulator;
+    Network net(topo, setup.noc, *policy, power, regulator);
+    double save_s = 0.0;
+    net.set_epoch_hook([&](Network& n, Tick, std::uint64_t epochs) {
+      if (epochs < 4) return true;  // mid-run, buffers populated
+      const auto start = std::chrono::steady_clock::now();
+      save_checkpoint_file(n, ckpt_path);
+      save_s = seconds_since(start);
+      return false;
+    });
+    net.run_until_drained(trace, setup.max_drain_tick());
+
+    auto policy2 = make_policy(PolicyKind::kPowerGate, topo.num_routers(),
+                               std::nullopt);
+    Network net2(topo, setup.noc, *policy2, power, regulator);
+    const auto start = std::chrono::steady_clock::now();
+    restore_checkpoint_file(net2, ckpt_path);
+    const double restore_s = seconds_since(start);
+    const auto payload = read_checkpoint_payload(ckpt_path);
+
+    std::printf("checkpoint payload:    %8zu bytes\n", payload.size());
+    std::printf("save (epoch 4, disk):  %8.3f ms\n", save_s * 1e3);
+    std::printf("restore (from disk):   %8.3f ms\n", restore_s * 1e3);
+  }
+
+  // --- 3: steady-state overhead of periodic checkpointing ---
+  const int reps = 3;
+  RunControl off;
+  const double base_s = timed_run(setup, trace, off, reps);
+
+  std::printf("\n%-28s %10s %10s %9s\n", "configuration", "wall (ms)",
+              "ckpts", "overhead");
+  std::printf("%-28s %10.1f %10d %9s\n", "no checkpointing", base_s * 1e3, 0,
+              "--");
+
+  double overhead_at_10 = 0.0;
+  for (const std::uint64_t interval : {50u, 10u, 1u}) {
+    RunControl on;
+    on.checkpoint_interval_epochs = interval;
+    on.checkpoint_path = ckpt_path;
+    // Count checkpoints once (deterministic), then time.
+    auto policy =
+        make_policy(PolicyKind::kPowerGate,
+                   setup.make_topology().num_routers(), std::nullopt);
+    PowerModel power;
+    const RunOutcome probe =
+        run_simulation_controlled(setup, *policy, trace, power, on);
+    const double with_s = timed_run(setup, trace, on, reps);
+    const double overhead = with_s / base_s - 1.0;
+    if (interval == 10) overhead_at_10 = overhead;
+    const std::string label =
+        "every " + std::to_string(interval) + " epochs";
+    std::printf("%-28s %10.1f %10llu %8.2f%%\n", label.c_str(), with_s * 1e3,
+                static_cast<unsigned long long>(probe.checkpoints_written),
+                overhead * 100.0);
+  }
+  std::remove(ckpt_path.c_str());
+
+  // Timing noise dominates sub-100ms runs (DOZZ_QUICK smoke); apply the
+  // acceptance bound only when the baseline is long enough to trust.
+  const bool measurable = base_s >= 0.1;
+  const bool pass = !measurable || overhead_at_10 < 0.05;
+  std::printf("\nacceptance: every-10-epochs overhead %.2f%% %s 5%% -> %s%s\n",
+              overhead_at_10 * 100.0, pass ? "<" : ">=",
+              pass ? "PASS" : "FAIL",
+              measurable ? "" : " (advisory: run too short to measure)");
+  return pass ? 0 : 1;
+}

@@ -25,12 +25,25 @@
 //     --fault-seed <n>               (fault injector RNG seed)
 //     --watchdog <epochs>            (no-progress watchdog threshold;
 //                                     -1 disables, 0 = auto)
+//     --checkpoint <file>            (save checkpoints to this file)
+//     --checkpoint-interval <n>      (checkpoint every n epochs)
+//     --resume                       (restore --checkpoint before running)
+//     --timeout <seconds>            (wall-clock budget; expiry saves a
+//                                     checkpoint and aborts like a stall)
 //
 // Setting any --fault-* rate enables the fault-injection layer; with all
 // rates at zero the simulator is bit-identical to a faults-off build.
 //
+// SIGINT/SIGTERM are handled gracefully: the current epoch finishes, a
+// final checkpoint is saved (when --checkpoint is set), a partial report
+// covering the completed epochs is written, and the process exits with
+// status 3. Re-running with --resume continues from that checkpoint and
+// produces a final report byte-identical to an uninterrupted run.
+//
 // Example:
 //   dozznoc_sim --policy dozznoc --benchmark x264 --compress 0.25 --baseline
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +66,10 @@ namespace {
 
 using namespace dozz;
 
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
 struct Options {
   std::string topology = "mesh";
   std::string policy = "dozznoc";
@@ -74,6 +91,10 @@ struct Options {
   double fault_reg = 0.0;
   std::uint64_t fault_seed = 0;  ///< 0 = keep FaultConfig's default seed.
   int watchdog = 0;              ///< 0 = auto, -1 = off, >0 = epochs.
+  std::string checkpoint_file;
+  std::uint64_t checkpoint_interval = 0;
+  bool resume = false;
+  double timeout_s = 0.0;
 };
 
 [[noreturn]] void usage_and_exit() {
@@ -85,7 +106,9 @@ struct Options {
                "  [--vcs n] [--depth n] [--routing xy|yx] [--weights file]\n"
                "  [--baseline] [--json] [--config file]\n"
                "  [--fault-link rate] [--fault-wake rate] [--fault-reg rate]\n"
-               "  [--fault-seed n] [--watchdog epochs]\n");
+               "  [--fault-seed n] [--watchdog epochs]\n"
+               "  [--checkpoint file] [--checkpoint-interval epochs]\n"
+               "  [--resume] [--timeout seconds]\n");
   std::exit(2);
 }
 
@@ -147,7 +170,18 @@ Options parse(int argc, char** argv) {
     else if (a == "--fault-reg") opt.fault_reg = std::strtod(need(i), nullptr);
     else if (a == "--fault-seed") opt.fault_seed = std::strtoull(need(i), nullptr, 10);
     else if (a == "--watchdog") opt.watchdog = std::atoi(need(i));
+    else if (a == "--checkpoint") opt.checkpoint_file = need(i);
+    else if (a == "--checkpoint-interval")
+      opt.checkpoint_interval = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--resume") opt.resume = true;
+    else if (a == "--timeout") opt.timeout_s = std::strtod(need(i), nullptr);
     else usage_and_exit();
+  }
+  if ((opt.checkpoint_interval > 0 || opt.resume) &&
+      opt.checkpoint_file.empty()) {
+    std::fprintf(stderr, "error: --checkpoint-interval and --resume need "
+                         "--checkpoint <file>\n");
+    std::exit(2);
   }
   return opt;
 }
@@ -165,6 +199,8 @@ std::optional<PolicyKind> policy_kind_of(const std::string& name) {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   try {
     SimSetup setup;
     setup.cmesh = (opt.topology == "cmesh");
@@ -212,6 +248,13 @@ int main(int argc, char** argv) {
                   trace.duration_ns() * 1e-3, topo.name().c_str());
 
     // --- Policy ---
+    RunControl control;
+    control.checkpoint_interval_epochs = opt.checkpoint_interval;
+    control.checkpoint_path = opt.checkpoint_file;
+    control.resume = opt.resume;
+    control.stop = &g_stop;
+    control.timeout_s = opt.timeout_s;
+
     RunOutcome outcome;
     const int routers = topo.num_routers();
     if (const auto kind = policy_kind_of(opt.policy)) {
@@ -230,20 +273,49 @@ int main(int argc, char** argv) {
           weights = load_or_train(*kind, setup, train_opts);
         }
       }
-      outcome = run_policy(setup, *kind, trace, weights);
+      auto policy = make_policy(*kind, routers, weights);
+      outcome = run_simulation_controlled(setup, *policy, trace, PowerModel(),
+                                          control);
     } else if (opt.policy == "reactive") {
       auto policy = make_reactive_twin(PolicyKind::kDozzNoc, routers);
-      outcome = run_simulation(setup, *policy, trace);
+      outcome = run_simulation_controlled(setup, *policy, trace, PowerModel(),
+                                          control);
     } else if (opt.policy == "oracle") {
+      // The oracle runs a recording pre-pass plus a replay run; neither is
+      // a single resumable network run, so checkpoint knobs don't apply.
+      if (!opt.checkpoint_file.empty()) {
+        std::fprintf(stderr,
+                     "error: --checkpoint is not supported with "
+                     "--policy oracle\n");
+        return 2;
+      }
       outcome = run_oracle(setup, trace, /*gating=*/true);
     } else if (opt.policy == "vfi") {
       GlobalDvfsPolicy policy(/*gating=*/true);
-      outcome = run_simulation(setup, policy, trace);
+      outcome = run_simulation_controlled(setup, policy, trace, PowerModel(),
+                                          control);
     } else {
       usage_and_exit();
     }
 
     // --- Report ---
+    if (outcome.interrupted) {
+      // Partial report covering the completed epochs; the checkpoint (when
+      // --checkpoint is set) lets --resume finish the run later.
+      if (opt.json)
+        std::printf("%s\n", outcome_to_json(outcome).c_str());
+      else
+        write_text_report(std::cout, outcome);
+      std::fflush(stdout);
+      const std::string where =
+          opt.checkpoint_file.empty()
+              ? std::string()
+              : ", checkpoint saved to " + opt.checkpoint_file;
+      std::fprintf(stderr,
+                   "interrupted by signal: stopped at an epoch boundary%s\n",
+                   where.c_str());
+      return 3;
+    }
     if (opt.with_baseline) {
       const RunOutcome base =
           run_policy(setup, PolicyKind::kBaseline, trace);

@@ -2,12 +2,32 @@
 // regimes and emits one JSON object per run (JSON-lines), ready for
 // pandas/jq post-processing. The machine-readable twin of Fig. 8.
 //
-// Runs execute on the parallel batch runner (thread count from
+// Runs execute on the supervised batch runner (thread count from
 // DOZZ_THREADS or the hardware concurrency); output order and content are
 // identical at any thread count.
 //
-//   ./examples/sweep_all > results.jsonl
+//   sweep_all [options] > results.jsonl
+//     --manifest <file>           (persist sweep state; enables --resume)
+//     --resume                    (skip jobs the manifest records as done,
+//                                  continue interrupted ones)
+//     --checkpoint-dir <dir>      (per-job checkpoint files)
+//     --checkpoint-interval <n>   (checkpoint every n epochs)
+//     --timeout <seconds>         (wall-clock budget per job attempt)
+//     --retries <n>               (retries per stalled/timed-out job)
+//     --backoff <seconds>         (first retry delay; doubles per retry)
+//     --threads <n>               (worker threads; 0 = default)
+//
+// SIGINT/SIGTERM stop the sweep gracefully: running jobs finish their
+// current epoch and checkpoint, the manifest records where everything
+// stood, and the process exits with status 3. Restarting with --resume
+// completes the sweep without re-running finished jobs and prints the
+// same aggregate table. Exit status 1 signals failed jobs or suppressed
+// worker exceptions.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <string>
@@ -20,45 +40,129 @@
 #include "src/sim/setup.hpp"
 #include "src/trafficgen/benchmarks.hpp"
 
-int main() {
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(stderr,
+               "usage: sweep_all [--manifest file] [--resume]\n"
+               "  [--checkpoint-dir dir] [--checkpoint-interval epochs]\n"
+               "  [--timeout seconds] [--retries n] [--backoff seconds]\n"
+               "  [--threads n]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace dozz;
-  SimSetup setup;
-  setup.duration_cycles = scaled_cycles(12000);
-  setup.run_to_drain = true;
 
-  TrainingOptions opts;
-  opts.gather_cycles = setup.duration_cycles;
-
-  std::map<PolicyKind, std::optional<WeightVector>> models;
-  models[PolicyKind::kBaseline] = std::nullopt;
-  models[PolicyKind::kPowerGate] = std::nullopt;
-  for (PolicyKind kind :
-       {PolicyKind::kLeadTau, PolicyKind::kDozzNoc, PolicyKind::kMlTurbo}) {
-    std::fprintf(stderr, "training %s...\n", policy_name(kind).c_str());
-    models[kind] = load_or_train(kind, setup, opts);
+  BatchOptions batch;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage_and_exit();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--manifest") batch.manifest_path = need(i);
+    else if (a == "--resume") batch.resume = true;
+    else if (a == "--checkpoint-dir") batch.checkpoint_dir = need(i);
+    else if (a == "--checkpoint-interval")
+      batch.checkpoint_interval_epochs = std::strtoull(need(i), nullptr, 10);
+    else if (a == "--timeout") batch.job_timeout_s = std::strtod(need(i), nullptr);
+    else if (a == "--retries") batch.max_retries = std::atoi(need(i));
+    else if (a == "--backoff") batch.retry_backoff_s = std::strtod(need(i), nullptr);
+    else if (a == "--threads")
+      batch.threads = static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+    else usage_and_exit();
   }
+  if (batch.resume && batch.manifest_path.empty()) {
+    std::fprintf(stderr, "error: --resume needs --manifest <file>\n");
+    return 2;
+  }
+  batch.stop = &g_stop;
 
-  std::vector<BatchJob> jobs;
-  for (double compression : {1.0, kCompressedFactor}) {
-    for (const auto& name : test_benchmarks()) {
-      for (const auto& [kind, weights] : models) {
-        BatchJob job;
-        job.kind = kind;
-        job.weights = weights;
-        job.benchmark = name;
-        job.compression = compression;
-        jobs.push_back(std::move(job));
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  try {
+    SimSetup setup;
+    setup.duration_cycles = scaled_cycles(12000);
+    setup.run_to_drain = true;
+
+    TrainingOptions opts;
+    opts.gather_cycles = setup.duration_cycles;
+
+    std::map<PolicyKind, std::optional<WeightVector>> models;
+    models[PolicyKind::kBaseline] = std::nullopt;
+    models[PolicyKind::kPowerGate] = std::nullopt;
+    for (PolicyKind kind :
+         {PolicyKind::kLeadTau, PolicyKind::kDozzNoc, PolicyKind::kMlTurbo}) {
+      std::fprintf(stderr, "training %s...\n", policy_name(kind).c_str());
+      models[kind] = load_or_train(kind, setup, opts);
+      if (g_stop.load()) {
+        std::fprintf(stderr, "sweep: stopped during training\n");
+        return 3;
       }
     }
-  }
 
-  std::vector<RunOutcome> outcomes = run_batch(setup, jobs);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    RunOutcome& outcome = outcomes[i];
-    outcome.trace +=
-        jobs[i].compression == 1.0 ? "/uncompressed" : "/compressed";
-    std::printf("%s\n", outcome_to_json(outcome).c_str());
+    std::vector<BatchJob> jobs;
+    for (double compression : {1.0, kCompressedFactor}) {
+      for (const auto& name : test_benchmarks()) {
+        for (const auto& [kind, weights] : models) {
+          BatchJob job;
+          job.kind = kind;
+          job.weights = weights;
+          job.benchmark = name;
+          job.compression = compression;
+          job.label =
+              name + (compression == 1.0 ? "/uncompressed" : "/compressed");
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+
+    if (!batch.checkpoint_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(batch.checkpoint_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "error: cannot create checkpoint dir %s: %s\n",
+                     batch.checkpoint_dir.c_str(), ec.message().c_str());
+        return 1;
+      }
+    }
+
+    const BatchResult result = run_batch_supervised(setup, jobs, batch);
+
+    // One JSON line per finished job, in sweep order. On --resume the
+    // previously-done jobs print their stored report lines, so the
+    // aggregate table equals an uninterrupted sweep's.
+    for (const JobRecord& record : result.manifest.jobs)
+      if (record.status == "done" && !record.report_json.empty())
+        std::printf("%s\n", record.report_json.c_str());
+    std::fflush(stdout);
+
+    std::fprintf(stderr,
+                 "sweep: %d completed, %d skipped, %d failed, %d retried, "
+                 "%llu suppressed worker exceptions%s\n",
+                 result.completed, result.skipped, result.failed,
+                 result.retried,
+                 static_cast<unsigned long long>(result.suppressed_exceptions),
+                 result.stopped ? ", stopped by signal" : "");
+    for (const JobRecord& record : result.manifest.jobs)
+      if (record.status == "failed")
+        std::fprintf(stderr, "  failed: %s (%d attempts): %s\n",
+                     record.key.c_str(), record.attempts,
+                     record.error.c_str());
+
+    if (result.stopped) return 3;
+    if (result.failed > 0 || result.suppressed_exceptions > 0) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
-  std::fflush(stdout);
-  return 0;
 }

@@ -7,9 +7,10 @@
 //   trace_tool synth    <pattern> <rate> <cycles> <out.trace>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "src/common/atomic_file.hpp"
 #include "src/common/error.hpp"
 #include "src/common/stats.hpp"
 #include "src/topology/topology.hpp"
@@ -35,9 +36,9 @@ int usage() {
 Trace load_trace(const std::string& path) { return Trace::load_file(path); }
 
 void save_trace(const Trace& trace, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw InputError("cannot write " + path);
+  std::ostringstream out;
   trace.save(out);
+  atomic_write_file(path, out.str());
   std::printf("wrote %zu entries to %s\n", trace.size(), path.c_str());
 }
 

@@ -11,9 +11,10 @@
 //
 //   ./examples/train_and_deploy [weights-file]
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "src/common/atomic_file.hpp"
 #include "src/sim/runner.hpp"
 #include "src/sim/training.hpp"
 #include "src/trafficgen/benchmarks.hpp"
@@ -47,8 +48,9 @@ int main(int argc, char** argv) {
 
   // --- Export (what the paper's Matlab phase hands to the simulator) ---
   {
-    std::ofstream out(weights_path);
+    std::ostringstream out;
     model.weights.save(out);
+    atomic_write_file(weights_path, out.str());
   }
   std::printf("weights exported to %s\n", weights_path.c_str());
 

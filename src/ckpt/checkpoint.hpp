@@ -1,0 +1,69 @@
+// Checkpoint file framing and the resumable-sweep manifest (DESIGN.md §8).
+//
+// File layout:
+//   magic "DOZZCKPT" (8 bytes)
+//   u32   format version (currently 1)
+//   u64   payload size in bytes
+//   u32   CRC-32 of the payload
+//   payload (a Network::save_checkpoint stream)
+// Files are written atomically (temp + rename), so a checkpoint on disk is
+// either a complete previous one or a complete new one — never a torn mix.
+// Every load failure throws CheckpointError naming the path and offset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/serial.hpp"
+
+namespace dozz {
+
+class Network;
+
+inline constexpr std::uint32_t kCkptFormatVersion = 1;
+
+/// Serializes `net` (mid-run state; see Network::save_checkpoint) and
+/// atomically writes the framed checkpoint to `path`.
+void save_checkpoint_file(const Network& net, const std::string& path);
+
+/// Reads, validates (magic, version, size, CRC) and restores a checkpoint
+/// into a freshly constructed `net`. Throws CheckpointError on any
+/// corruption, truncation or configuration mismatch.
+void restore_checkpoint_file(Network& net, const std::string& path);
+
+/// Validates the framing of `path` and returns the payload bytes (used by
+/// restore_checkpoint_file; exposed for tests and tooling).
+std::vector<unsigned char> read_checkpoint_payload(const std::string& path);
+
+// --- Resumable sweep manifest ---------------------------------------------
+
+/// One sweep job's lifecycle record.
+struct JobRecord {
+  std::string key;         ///< Stable identity: policy|trace|compression|twin.
+  std::string label;       ///< Display label carried into the report.
+  std::string status;      ///< "pending", "running", "done" or "failed".
+  int attempts = 0;        ///< Runs started (1 = no retry).
+  std::string error;       ///< Last failure message ("" when none).
+  std::string checkpoint;  ///< Path of the job's checkpoint ("" when none).
+  std::string report_json; ///< Final report line once status == "done".
+};
+
+/// The sweep's persistent state: job records in sweep order.
+struct SweepManifest {
+  std::vector<JobRecord> jobs;
+
+  /// Index of `key`, or -1 when absent.
+  int find(const std::string& key) const;
+};
+
+/// Atomically writes the manifest as JSON lines: a header object followed
+/// by one flat object per job.
+void save_manifest_file(const SweepManifest& manifest,
+                        const std::string& path);
+
+/// Loads a manifest written by save_manifest_file. Throws CheckpointError
+/// naming the path and line on any malformed content.
+SweepManifest load_manifest_file(const std::string& path);
+
+}  // namespace dozz

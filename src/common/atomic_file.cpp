@@ -1,0 +1,38 @@
+#include "src/common/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size) {
+  // The temp file must live in the same directory as the target: rename()
+  // is only atomic within one filesystem.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw InputError("atomic write: cannot create temp file " + tmp);
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw InputError("atomic write: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw InputError("atomic write: cannot rename " + tmp + " to " + path);
+  }
+}
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  atomic_write_file(path, content.data(), content.size());
+}
+
+}  // namespace dozz

@@ -1,0 +1,21 @@
+// Crash-safe file persistence: write to a temp file in the target
+// directory, flush, then rename() into place. POSIX rename is atomic, so a
+// reader (or a crash at any instant) sees either the old file or the new
+// one — never a torn half-write. Every artifact the project persists
+// (model caches, traces, weights, checkpoints, sweep manifests) goes
+// through here.
+#pragma once
+
+#include <string>
+
+namespace dozz {
+
+/// Atomically replaces `path` with `content`. Throws InputError naming the
+/// path when the temp file cannot be created, written, or renamed.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Binary overload for raw byte payloads (checkpoints).
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size);
+
+}  // namespace dozz

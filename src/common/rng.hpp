@@ -5,6 +5,7 @@
 // matters because our "benchmark traces" are synthesized from seeds.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace dozz {
@@ -41,6 +42,14 @@ class Rng {
 
   /// Geometric-like bounded integer: mean-controlled burst length in [1, cap].
   std::uint64_t next_burst_length(double mean, std::uint64_t cap);
+
+  /// The four xoshiro256** state words, for checkpoint/restore: a restored
+  /// generator continues the exact draw sequence of the saved one.
+  using State = std::array<std::uint64_t, 4>;
+  State state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const State& state) {
+    for (std::size_t i = 0; i < state.size(); ++i) s_[i] = state[i];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -71,6 +71,16 @@ void Histogram::add(double x) {
   }
 }
 
+void Histogram::restore(const std::vector<std::size_t>& counts,
+                        std::size_t underflow, std::size_t overflow,
+                        std::size_t total) {
+  DOZZ_REQUIRE(counts.size() == counts_.size());
+  counts_ = counts;
+  underflow_ = underflow;
+  overflow_ = overflow;
+  total_ = total;
+}
+
 std::size_t Histogram::bin_count(std::size_t bin) const {
   DOZZ_REQUIRE(bin < counts_.size());
   return counts_[bin];

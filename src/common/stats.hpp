@@ -24,6 +24,25 @@ class RunningStat {
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
 
+  /// Raw accumulator state for checkpoint/restore. Round-tripping through
+  /// Raw is bit-exact (m2_ and the pre-first-sample infinities included),
+  /// which the resume-is-bit-identical contract depends on.
+  struct Raw {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  Raw raw() const { return {n_, mean_, m2_, min_, max_}; }
+  void restore(const Raw& raw) {
+    n_ = static_cast<std::size_t>(raw.n);
+    mean_ = raw.mean;
+    m2_ = raw.m2;
+    min_ = raw.min;
+    max_ = raw.max;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -51,6 +70,12 @@ class Histogram {
 
   /// Approximate quantile (q in [0,1]) by linear interpolation within a bin.
   double quantile(double q) const;
+
+  /// Restores bin contents saved from an identically-shaped histogram
+  /// (checkpoint/restore); the bin layout itself is construction-time
+  /// configuration and must already match.
+  void restore(const std::vector<std::size_t>& counts, std::size_t underflow,
+               std::size_t overflow, std::size_t total);
 
  private:
   double lo_;

@@ -45,6 +45,10 @@ class OracleDvfsPolicy final : public PowerController {
     current_epoch_ = ended_epoch_index;
   }
 
+ protected:
+  void save_extra_state(CkptWriter& w) const override;
+  void load_extra_state(CkptReader& r) override;
+
  private:
   IbuTrajectory trajectory_;
   bool gating_;
@@ -66,6 +70,10 @@ class GlobalDvfsPolicy final : public PowerController {
   VfMode select_mode(RouterId r, const EpochFeatures& features) override;
   bool uses_ml() const override { return false; }
   void on_epoch_begin(std::uint64_t ended_epoch_index) override;
+
+ protected:
+  void save_extra_state(CkptWriter& w) const override;
+  void load_extra_state(CkptReader& r) override;
 
  private:
   bool gating_;
@@ -93,6 +101,10 @@ class RouterParkingPolicy final : public PowerController {
   bool may_gate(RouterId r) const override;
   VfMode select_mode(RouterId r, const EpochFeatures& features) override;
   bool uses_ml() const override { return false; }
+
+ protected:
+  void save_extra_state(CkptWriter& w) const override;
+  void load_extra_state(CkptReader& r) override;
 
  private:
   int silent_epochs_required_;

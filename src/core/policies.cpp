@@ -2,9 +2,47 @@
 
 #include <algorithm>
 
+#include "src/ckpt/serial.hpp"
 #include "src/common/error.hpp"
 
 namespace dozz {
+
+namespace {
+
+// The turbo rule's per-router mid-mode tallies are the only mutable state
+// an ML policy carries across epochs; the weights are construction wiring.
+void save_mid_counts(CkptWriter& w, const std::vector<std::uint32_t>& counts) {
+  w.u32(static_cast<std::uint32_t>(counts.size()));
+  for (std::uint32_t c : counts) w.u32(c);
+}
+
+void load_mid_counts(CkptReader& r, std::vector<std::uint32_t>* counts) {
+  if (r.u32() != counts->size()) r.fail("policy mid-count size mismatch");
+  for (auto& c : *counts) c = r.u32();
+}
+
+}  // namespace
+
+void ReactiveDvfsPolicy::save_extra_state(CkptWriter& w) const {
+  save_mid_counts(w, mid_counts_);
+}
+void ReactiveDvfsPolicy::load_extra_state(CkptReader& r) {
+  load_mid_counts(r, &mid_counts_);
+}
+
+void ProactiveMlPolicy::save_extra_state(CkptWriter& w) const {
+  save_mid_counts(w, mid_counts_);
+}
+void ProactiveMlPolicy::load_extra_state(CkptReader& r) {
+  load_mid_counts(r, &mid_counts_);
+}
+
+void ProactiveExtendedMlPolicy::save_extra_state(CkptWriter& w) const {
+  save_mid_counts(w, mid_counts_);
+}
+void ProactiveExtendedMlPolicy::load_extra_state(CkptReader& r) {
+  load_mid_counts(r, &mid_counts_);
+}
 
 const std::vector<PolicyKind>& all_policy_kinds() {
   static const std::vector<PolicyKind> kKinds = {

@@ -81,6 +81,10 @@ class ReactiveDvfsPolicy final : public PowerController {
   VfMode select_mode(RouterId r, const EpochFeatures& features) override;
   bool uses_ml() const override { return false; }
 
+ protected:
+  void save_extra_state(CkptWriter& w) const override;
+  void load_extra_state(CkptReader& r) override;
+
  private:
   std::string name_;
   bool gating_;
@@ -103,6 +107,10 @@ class ProactiveMlPolicy final : public PowerController {
 
   PolicyKind kind() const { return kind_; }
   const WeightVector& weights() const { return label_generate_.weights(); }
+
+ protected:
+  void save_extra_state(CkptWriter& w) const override;
+  void load_extra_state(CkptReader& r) override;
 
  private:
   PolicyKind kind_;
@@ -132,6 +140,10 @@ class ProactiveExtendedMlPolicy final : public PowerController {
   }
 
   const WeightVector& weights() const { return weights_; }
+
+ protected:
+  void save_extra_state(CkptWriter& w) const override;
+  void load_extra_state(CkptReader& r) override;
 
  private:
   PolicyKind kind_;

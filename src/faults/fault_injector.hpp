@@ -64,6 +64,14 @@ class FaultInjector {
   /// base delay doubled per prior attempt.
   Tick retx_backoff_ticks(int retry) const;
 
+  // --- Checkpoint/restore (src/ckpt; DESIGN.md §8) ---
+  /// The injector's mutable state is the RNG stream position plus the
+  /// fault counters; config and derived tick constants are rebuilt from
+  /// the (identical) configuration on resume.
+  Rng::State rng_state() const { return rng_.state(); }
+  void set_rng_state(const Rng::State& state) { rng_.set_state(state); }
+  void set_stats(const FaultStats& stats) { stats_ = stats; }
+
  private:
   FaultConfig config_;
   Rng rng_;

@@ -51,6 +51,12 @@ class TimedChannel {
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
 
+  /// In-flight entries, oldest first (checkpoint/restore).
+  const std::deque<Entry>& entries() const { return entries_; }
+  void restore_entries(std::deque<Entry> entries) {
+    entries_ = std::move(entries);
+  }
+
  private:
   std::deque<Entry> entries_;
 };

@@ -58,6 +58,18 @@ class VirtualChannel {
     out_vc_ = -1;
   }
 
+  /// Buffered flits, head first (checkpoint/restore).
+  const std::deque<Flit>& flits() const { return queue_; }
+  /// Restores buffered flits and wormhole allocation in one shot.
+  void restore(std::deque<Flit> flits, bool allocated, int out_port,
+               int out_vc) {
+    DOZZ_REQUIRE(static_cast<int>(flits.size()) <= depth_);
+    queue_ = std::move(flits);
+    allocated_ = allocated;
+    out_port_ = out_port;
+    out_vc_ = out_vc;
+  }
+
  private:
   int depth_;
   std::deque<Flit> queue_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
+#include "src/ckpt/state_io.hpp"
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
 #include "src/faults/crc.hpp"
@@ -34,6 +36,138 @@ const char* state_label(RouterState s) {
     case RouterState::kActive: return "active";
   }
   return "?";
+}
+
+/// FNV-1a over the trace's entry fields (not raw struct bytes, which would
+/// hash padding). A resumed run validates this fingerprint so a checkpoint
+/// can never be silently continued against a different workload.
+std::uint64_t trace_fingerprint(const Trace& trace) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& e : trace.entries()) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.src)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.dst)));
+    mix(e.is_response ? 1 : 0);
+    std::uint64_t bits;
+    std::memcpy(&bits, &e.inject_ns, sizeof bits);
+    mix(bits);
+  }
+  return h;
+}
+
+void save_fault_stats(CkptWriter& w, const FaultStats& s) {
+  w.u64(s.flits_corrupted);
+  w.u64(s.wakes_dropped);
+  w.u64(s.wakes_refused_stuck);
+  w.u64(s.wakes_delayed);
+  w.u64(s.stuck_gatings);
+  w.u64(s.mode_switch_failures);
+  w.u64(s.droops);
+  w.u64(s.packets_corrupted);
+  w.u64(s.retransmissions);
+  w.u64(s.packets_lost);
+  w.u64(s.routers_gating_degraded);
+  w.u64(s.routers_pinned_nominal);
+}
+
+FaultStats load_fault_stats(CkptReader& r) {
+  FaultStats s;
+  s.flits_corrupted = r.u64();
+  s.wakes_dropped = r.u64();
+  s.wakes_refused_stuck = r.u64();
+  s.wakes_delayed = r.u64();
+  s.stuck_gatings = r.u64();
+  s.mode_switch_failures = r.u64();
+  s.droops = r.u64();
+  s.packets_corrupted = r.u64();
+  s.retransmissions = r.u64();
+  s.packets_lost = r.u64();
+  s.routers_gating_degraded = r.u64();
+  s.routers_pinned_nominal = r.u64();
+  return s;
+}
+
+void save_epoch_features(CkptWriter& w, const EpochFeatures& f) {
+  w.f64(f.bias);
+  w.f64(f.reqs_sent);
+  w.f64(f.reqs_received);
+  w.f64(f.total_off_kcycles);
+  w.f64(f.current_ibu);
+}
+
+EpochFeatures load_epoch_features(CkptReader& r) {
+  EpochFeatures f;
+  f.bias = r.f64();
+  f.reqs_sent = r.f64();
+  f.reqs_received = r.f64();
+  f.total_off_kcycles = r.f64();
+  f.current_ibu = r.f64();
+  return f;
+}
+
+void save_metrics(CkptWriter& w, const NetworkMetrics& m) {
+  w.u64(m.packets_offered);
+  w.u64(m.packets_delivered);
+  w.u64(m.flits_delivered);
+  w.u64(m.requests_delivered);
+  w.u64(m.responses_delivered);
+  ckpt::save_running_stat(w, m.packet_latency_ns);
+  ckpt::save_running_stat(w, m.network_latency_ns);
+  ckpt::save_running_stat(w, m.packet_hops);
+  w.u64(m.sim_ticks);
+  w.f64(m.static_energy_j);
+  w.f64(m.dynamic_energy_j);
+  w.f64(m.ml_energy_j);
+  w.f64(m.wall_static_energy_j);
+  w.f64(m.wall_dynamic_energy_j);
+  w.u64(m.gatings);
+  w.u64(m.wakeups);
+  w.u64(m.premature_wakeups);
+  w.u64(m.mode_switches);
+  w.u64(m.labels_computed);
+  for (double f : m.state_fractions) w.f64(f);
+  for (std::uint64_t c : m.epoch_mode_counts) w.u64(c);
+  w.f64(m.avg_ibu);
+  w.f64(m.off_time_fraction);
+  w.f64(m.latency_p50_ns);
+  w.f64(m.latency_p95_ns);
+  w.f64(m.latency_p99_ns);
+  save_fault_stats(w, m.faults);
+}
+
+void load_metrics(CkptReader& r, NetworkMetrics* m) {
+  m->packets_offered = r.u64();
+  m->packets_delivered = r.u64();
+  m->flits_delivered = r.u64();
+  m->requests_delivered = r.u64();
+  m->responses_delivered = r.u64();
+  ckpt::load_running_stat(r, &m->packet_latency_ns);
+  ckpt::load_running_stat(r, &m->network_latency_ns);
+  ckpt::load_running_stat(r, &m->packet_hops);
+  m->sim_ticks = r.u64();
+  m->static_energy_j = r.f64();
+  m->dynamic_energy_j = r.f64();
+  m->ml_energy_j = r.f64();
+  m->wall_static_energy_j = r.f64();
+  m->wall_dynamic_energy_j = r.f64();
+  m->gatings = r.u64();
+  m->wakeups = r.u64();
+  m->premature_wakeups = r.u64();
+  m->mode_switches = r.u64();
+  m->labels_computed = r.u64();
+  for (auto& f : m->state_fractions) f = r.f64();
+  for (auto& c : m->epoch_mode_counts) c = r.u64();
+  m->avg_ibu = r.f64();
+  m->off_time_fraction = r.f64();
+  m->latency_p50_ns = r.f64();
+  m->latency_p95_ns = r.f64();
+  m->latency_p99_ns = r.f64();
+  m->faults = load_fault_stats(r);
 }
 
 }  // namespace
@@ -246,6 +380,35 @@ void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
   DOZZ_REQUIRE(!ran_);
   DOZZ_REQUIRE(end_tick > 0);
   ran_ = true;
+  run_drain_ = drain;
+  run_end_tick_ = end_tick;
+  running_trace_ = &trace;
+
+  if (resumed_) {
+    // A restored run must continue the exact same workload: the checkpoint
+    // records the run parameters and a trace fingerprint; any divergence
+    // would silently break the bit-identity contract, so it is an error.
+    if (drain != expect_drain_)
+      throw CheckpointError(
+          "checkpoint resume: drain mode mismatch (checkpoint was " +
+          std::string(expect_drain_ ? "drained" : "windowed") + ")");
+    if (end_tick != expect_end_tick_)
+      throw CheckpointError(
+          "checkpoint resume: run horizon mismatch (checkpoint had end tick " +
+          std::to_string(expect_end_tick_) + ", run has " +
+          std::to_string(end_tick) + ")");
+    if (trace.size() != expect_trace_size_ ||
+        trace_fingerprint(trace) != expect_trace_hash_)
+      throw CheckpointError(
+          "checkpoint resume: trace mismatch (checkpoint was taken against "
+          "trace '" +
+          expect_trace_name_ + "', " + std::to_string(expect_trace_size_) +
+          " entries)");
+  } else {
+    trace_cursor_ = 0;
+    next_epoch_ = config_.epoch_ticks();
+    last_event_ = 0;
+  }
 
   // Long runs append one row per epoch; size the logs once up front
   // instead of growing them through repeated reallocation.
@@ -259,8 +422,11 @@ void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
                               : run_loop_indexed(trace, end_tick, drain);
 
   // In drain mode the run's duration is the time of the last event (the
-  // final delivery); in window mode it is the fixed horizon.
-  compile_metrics(drain ? std::max<Tick>(last_event, 1) : end_tick);
+  // final delivery); in window mode it is the fixed horizon. An interrupted
+  // run compiles a *partial* report up to the stopping boundary — a resume
+  // restores the pre-compile checkpoint, so this accounting is discarded.
+  compile_metrics(interrupted_ || drain ? std::max<Tick>(last_event, 1)
+                                        : end_tick);
 }
 
 void Network::inject_matured(const std::vector<TraceEntry>& entries,
@@ -324,15 +490,12 @@ void Network::step_router(std::size_t i, bool gating) {
 
 Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
   const auto& entries = trace.entries();
-  std::size_t cursor = 0;
-  Tick next_epoch = config_.epoch_ticks();
-  Tick last_event = 0;
   // Loop-invariant policy/config lookups, hoisted out of the hot loops.
   const bool gating = policy_->gating_enabled();
   const bool punch = config_.lookahead_punch;
 
   auto drained = [&]() {
-    if (cursor < entries.size()) return false;
+    if (trace_cursor_ < entries.size()) return false;
     if (metrics_.packets_delivered + terminal_failures() !=
         metrics_.packets_offered)
       return false;
@@ -343,17 +506,18 @@ Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
 
   while (true) {
     if (drain && drained()) break;
-    const Tick trace_next =
-        cursor < entries.size() ? entries[cursor].inject_tick() : kInfTick;
-    Tick t = std::min(next_event_after(trace_next), next_epoch);
+    const Tick trace_next = trace_cursor_ < entries.size()
+                                ? entries[trace_cursor_].inject_tick()
+                                : kInfTick;
+    Tick t = std::min(next_event_after(trace_next), next_epoch_);
     if (t >= end_tick) break;
     DOZZ_ASSERT(t >= now_);
     now_ = t;
-    last_event = t;
+    last_event_ = t;
     ++kernel_events_;
 
     // 1. Matured trace entries become pending packets at their source NI.
-    inject_matured(entries, cursor, gating, punch);
+    inject_matured(entries, trace_cursor_, gating, punch);
 
     // 2. Matured responses.
     for (auto& n : nics_) {
@@ -362,9 +526,11 @@ Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
     }
 
     // 3. Epoch boundary: feature capture and DVFS mode selection.
-    if (now_ == next_epoch) {
+    bool at_epoch = false;
+    if (now_ == next_epoch_) {
       process_epoch(now_);
-      next_epoch += config_.epoch_ticks();
+      next_epoch_ += config_.epoch_ticks();
+      at_epoch = true;
     }
 
     // 4. Clock edges, in router-id order for determinism.
@@ -372,8 +538,17 @@ Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
       if (routers_[i].next_edge() > now_) continue;
       step_router(i, gating);
     }
+
+    // Epoch hook, fired only after the boundary iteration completed its
+    // clock edges: a checkpoint taken here resumes at the *next* kernel
+    // event, so the resumed run re-counts nothing (bit-identity).
+    if (at_epoch && epoch_hook_ &&
+        !epoch_hook_(*this, now_, epochs_processed_)) {
+      interrupted_ = true;
+      break;
+    }
   }
-  return last_event;
+  return last_event_;
 }
 
 void Network::schedule_edge(RouterId r) {
@@ -413,9 +588,6 @@ Tick Network::response_min() {
 Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
                                bool drain) {
   const auto& entries = trace.entries();
-  std::size_t cursor = 0;
-  Tick next_epoch = config_.epoch_ticks();
-  Tick last_event = 0;
   // Loop-invariant policy/config lookups, hoisted out of the hot loops.
   const bool gating = policy_->gating_enabled();
   const bool punch = config_.lookahead_punch;
@@ -423,28 +595,39 @@ Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
   for (std::size_t i = 0; i < routers_.size(); ++i)
     schedule_edge(static_cast<RouterId>(i));
 
+  // Rebuild the response heap from live NIC state: the heap is derived
+  // (lazy-invalidation) and is not checkpointed. One entry at each NIC's
+  // current minimum suffices — mature_nic re-publishes after every pop and
+  // response_min() discards anything stale. A fresh run has no pending
+  // responses, so this is a no-op there.
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    const Tick t = nics_[i].next_response_tick();
+    if (t < kInfTick) response_heap_.push({t, static_cast<RouterId>(i)});
+  }
+
   std::vector<RouterId> due;  // sorted ids due at now_
 
   while (true) {
     // Drain check without the per-event NIC scan: packets parked in NIC
     // queues or in-network are offered-but-undelivered, so the only state
     // the counters miss is responses scheduled but not yet matured.
-    if (drain && cursor >= entries.size() && pending_responses_ == 0 &&
+    if (drain && trace_cursor_ >= entries.size() && pending_responses_ == 0 &&
         metrics_.packets_delivered + terminal_failures() ==
             metrics_.packets_offered)
       break;
-    const Tick trace_next =
-        cursor < entries.size() ? entries[cursor].inject_tick() : kInfTick;
-    const Tick t = std::min(std::min(trace_next, next_epoch),
+    const Tick trace_next = trace_cursor_ < entries.size()
+                                ? entries[trace_cursor_].inject_tick()
+                                : kInfTick;
+    const Tick t = std::min(std::min(trace_next, next_epoch_),
                             std::min(edge_min(), response_min()));
     if (t >= end_tick) break;
     DOZZ_ASSERT(t >= now_);
     now_ = t;
-    last_event = t;
+    last_event_ = t;
     ++kernel_events_;
 
     // 1. Matured trace entries become pending packets at their source NI.
-    inject_matured(entries, cursor, gating, punch);
+    inject_matured(entries, trace_cursor_, gating, punch);
 
     // 2. Matured responses, in NIC-id order (matches the linear sweep).
     if (!response_heap_.empty() && response_heap_.top().first <= now_) {
@@ -468,9 +651,11 @@ Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
     // set_active_mode can pull a slow router's edge *earlier* (new period
     // from now), so process_epoch republishes affected edges before the
     // due-edge collection below.
-    if (now_ == next_epoch) {
+    bool at_epoch = false;
+    if (now_ == next_epoch_) {
       process_epoch(now_);
-      next_epoch += config_.epoch_ticks();
+      next_epoch_ += config_.epoch_ticks();
+      at_epoch = true;
     }
 
     // 4. Clock edges due now, in router-id order for determinism. The
@@ -532,8 +717,16 @@ Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
         }
       }
     }
+
+    // Epoch hook, after the boundary iteration's clock edges (see the
+    // linear kernel for why this placement preserves bit-identity).
+    if (at_epoch && epoch_hook_ &&
+        !epoch_hook_(*this, now_, epochs_processed_)) {
+      interrupted_ = true;
+      break;
+    }
   }
-  return last_event;
+  return last_event_;
 }
 
 void Network::check_progress(Tick now) {
@@ -741,6 +934,250 @@ void Network::compile_metrics(Tick end_tick) {
                 << metrics_.packets_offered
                 << " static=" << metrics_.static_energy_j
                 << "J dynamic=" << metrics_.dynamic_energy_j << "J");
+}
+
+void Network::save_checkpoint(CkptWriter& w) const {
+  DOZZ_REQUIRE(running_trace_ != nullptr);  // only meaningful mid-run
+  w.tag("NET0");
+
+  // --- Validation block: the resuming process must reconstruct an
+  // identical simulation before loading mutable state. The kernel flag is
+  // deliberately absent — both kernels are bit-identical, so a checkpoint
+  // written under one may be resumed under the other.
+  w.str(topo_->name());
+  w.i32(topo_->num_routers());
+  w.i32(topo_->concentration());
+  w.u64(config_.epoch_cycles);
+  w.i32(config_.vcs_per_port);
+  w.i32(config_.buffer_depth_flits);
+  w.i32(config_.vc_classes);
+  w.i32(config_.request_size_flits);
+  w.i32(config_.response_size_flits);
+  w.boolean(config_.auto_response);
+  w.u8(static_cast<std::uint8_t>(config_.routing));
+  w.boolean(config_.lookahead_punch);
+  w.boolean(config_.collect_epoch_log);
+  w.boolean(config_.collect_extended_log);
+  w.boolean(config_.faults.enabled);
+  w.str(policy_->name());
+
+  // --- Kernel run state ---
+  w.tag("RUN0");
+  w.u64(now_);
+  w.u64(next_packet_id_);
+  w.u64(epochs_processed_);
+  w.u64(static_cast<std::uint64_t>(trace_cursor_));
+  w.u64(next_epoch_);
+  w.u64(last_event_);
+  w.boolean(run_drain_);
+  w.u64(run_end_tick_);
+  w.str(running_trace_->name());
+  w.u64(running_trace_->size());
+  w.u64(trace_fingerprint(*running_trace_));
+  w.i32(stalled_epochs_);
+  w.u64(last_progress_flits_);
+  w.u64(pending_responses_);
+  w.u64(kernel_events_);
+  w.u64(edge_steps_);
+
+  // Corrupt-partial set, sorted so identical states write identical bytes.
+  {
+    std::vector<std::uint64_t> ids(corrupt_partial_.begin(),
+                                   corrupt_partial_.end());
+    std::sort(ids.begin(), ids.end());
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (std::uint64_t id : ids) w.u64(id);
+  }
+
+  // --- Cumulative statistics ---
+  w.tag("HIST");
+  w.u64(latency_hist_.bins());
+  for (std::size_t b = 0; b < latency_hist_.bins(); ++b)
+    w.u64(latency_hist_.bin_count(b));
+  w.u64(latency_hist_.underflow());
+  w.u64(latency_hist_.overflow());
+  w.u64(latency_hist_.total());
+
+  w.tag("MET0");
+  save_metrics(w, metrics_);
+
+  w.tag("LOG0");
+  w.u32(static_cast<std::uint32_t>(epoch_log_.size()));
+  for (const auto& row : epoch_log_) {
+    w.u32(static_cast<std::uint32_t>(row.size()));
+    for (const auto& f : row) save_epoch_features(w, f);
+  }
+  w.u32(static_cast<std::uint32_t>(extended_log_.size()));
+  for (const auto& row : extended_log_) {
+    w.u32(static_cast<std::uint32_t>(row.size()));
+    for (const auto& vec : row) {
+      w.u32(static_cast<std::uint32_t>(vec.size()));
+      for (double v : vec) w.f64(v);
+    }
+  }
+
+  w.tag("SNAP");
+  w.u32(static_cast<std::uint32_t>(snapshots_.size()));
+  for (const auto& s : snapshots_) {
+    w.u64(s.hops);
+    w.u64(s.wakeups);
+    w.u64(s.gatings);
+    w.u64(s.switches);
+    w.u64(s.inactive_ticks);
+    w.u64(s.epoch_start);
+    save_epoch_features(w, s.prev_base);
+  }
+
+  // --- Fault injector (RNG stream position + counters) ---
+  if (injector_ != nullptr) {
+    w.tag("FLT0");
+    for (std::uint64_t word : injector_->rng_state()) w.u64(word);
+    save_fault_stats(w, injector_->stats());
+  }
+
+  // --- Policy, NICs, routers ---
+  policy_->save_state(w);
+  w.tag("NICS");
+  for (const auto& n : nics_) n.save_state(w);
+  w.tag("RTRS");
+  for (const auto& r : routers_) r.save_state(w);
+  w.tag("END0");
+}
+
+void Network::restore_checkpoint(CkptReader& r) {
+  DOZZ_REQUIRE(!ran_ && now_ == 0);  // restore only into a fresh network
+  r.expect_tag("NET0");
+
+  // --- Validation block ---
+  const std::string topo_name = r.str();
+  if (topo_name != topo_->name())
+    r.fail("topology mismatch: checkpoint has '" + topo_name +
+           "', network has '" + topo_->name() + "'");
+  if (r.i32() != topo_->num_routers()) r.fail("router count mismatch");
+  if (r.i32() != topo_->concentration()) r.fail("concentration mismatch");
+  if (r.u64() != config_.epoch_cycles) r.fail("epoch length mismatch");
+  if (r.i32() != config_.vcs_per_port) r.fail("VC count mismatch");
+  if (r.i32() != config_.buffer_depth_flits) r.fail("buffer depth mismatch");
+  if (r.i32() != config_.vc_classes) r.fail("VC class count mismatch");
+  if (r.i32() != config_.request_size_flits)
+    r.fail("request size mismatch");
+  if (r.i32() != config_.response_size_flits)
+    r.fail("response size mismatch");
+  if (r.boolean() != config_.auto_response)
+    r.fail("auto-response setting mismatch");
+  if (r.u8() != static_cast<std::uint8_t>(config_.routing))
+    r.fail("routing algorithm mismatch");
+  if (r.boolean() != config_.lookahead_punch)
+    r.fail("lookahead-punch setting mismatch");
+  if (r.boolean() != config_.collect_epoch_log)
+    r.fail("epoch-log collection setting mismatch");
+  if (r.boolean() != config_.collect_extended_log)
+    r.fail("extended-log collection setting mismatch");
+  if (r.boolean() != config_.faults.enabled)
+    r.fail("fault-injection setting mismatch");
+  const std::string policy = r.str();
+  if (policy != policy_->name())
+    r.fail("policy mismatch: checkpoint has '" + policy +
+           "', network has '" + policy_->name() + "'");
+
+  // --- Kernel run state ---
+  r.expect_tag("RUN0");
+  now_ = r.u64();
+  next_packet_id_ = r.u64();
+  epochs_processed_ = r.u64();
+  trace_cursor_ = static_cast<std::size_t>(r.u64());
+  next_epoch_ = r.u64();
+  last_event_ = r.u64();
+  expect_drain_ = r.boolean();
+  expect_end_tick_ = r.u64();
+  expect_trace_name_ = r.str();
+  expect_trace_size_ = r.u64();
+  expect_trace_hash_ = r.u64();
+  stalled_epochs_ = r.i32();
+  last_progress_flits_ = r.u64();
+  pending_responses_ = r.u64();
+  kernel_events_ = r.u64();
+  edge_steps_ = r.u64();
+
+  corrupt_partial_.clear();
+  {
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) corrupt_partial_.insert(r.u64());
+  }
+
+  // --- Cumulative statistics ---
+  r.expect_tag("HIST");
+  {
+    const std::uint64_t bins = r.u64();
+    if (bins != latency_hist_.bins()) r.fail("histogram bin count mismatch");
+    std::vector<std::size_t> counts(static_cast<std::size_t>(bins));
+    for (auto& c : counts) c = static_cast<std::size_t>(r.u64());
+    const auto underflow = static_cast<std::size_t>(r.u64());
+    const auto overflow = static_cast<std::size_t>(r.u64());
+    const auto total = static_cast<std::size_t>(r.u64());
+    latency_hist_.restore(counts, underflow, overflow, total);
+  }
+
+  r.expect_tag("MET0");
+  load_metrics(r, &metrics_);
+
+  r.expect_tag("LOG0");
+  {
+    epoch_log_.clear();
+    const std::uint32_t rows = r.u32();
+    epoch_log_.reserve(rows);
+    for (std::uint32_t i = 0; i < rows; ++i) {
+      std::vector<EpochFeatures> row;
+      const std::uint32_t cols = r.u32();
+      row.reserve(cols);
+      for (std::uint32_t j = 0; j < cols; ++j)
+        row.push_back(load_epoch_features(r));
+      epoch_log_.push_back(std::move(row));
+    }
+    extended_log_.clear();
+    const std::uint32_t xrows = r.u32();
+    extended_log_.reserve(xrows);
+    for (std::uint32_t i = 0; i < xrows; ++i) {
+      std::vector<std::vector<double>> row;
+      const std::uint32_t cols = r.u32();
+      row.reserve(cols);
+      for (std::uint32_t j = 0; j < cols; ++j) {
+        std::vector<double> vec(r.u32());
+        for (auto& v : vec) v = r.f64();
+        row.push_back(std::move(vec));
+      }
+      extended_log_.push_back(std::move(row));
+    }
+  }
+
+  r.expect_tag("SNAP");
+  if (r.u32() != snapshots_.size()) r.fail("snapshot count mismatch");
+  for (auto& s : snapshots_) {
+    s.hops = r.u64();
+    s.wakeups = r.u64();
+    s.gatings = r.u64();
+    s.switches = r.u64();
+    s.inactive_ticks = r.u64();
+    s.epoch_start = r.u64();
+    s.prev_base = load_epoch_features(r);
+  }
+
+  if (injector_ != nullptr) {
+    r.expect_tag("FLT0");
+    Rng::State state;
+    for (auto& word : state) word = r.u64();
+    injector_->set_rng_state(state);
+    injector_->set_stats(load_fault_stats(r));
+  }
+
+  policy_->load_state(r);
+  r.expect_tag("NICS");
+  for (auto& n : nics_) n.load_state(r);
+  r.expect_tag("RTRS");
+  for (auto& rt : routers_) rt.load_state(r);
+  r.expect_tag("END0");
+
+  resumed_ = true;
 }
 
 }  // namespace dozz

@@ -2,8 +2,10 @@
 // kernel, the epoch (DVFS window) machinery, and run metrics.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -50,6 +52,13 @@ class Network : public RouterEnvironment {
   Network(const Topology& topo, const NocConfig& config,
           PowerController& policy, const PowerModel& power,
           const SimoLdoRegulator& regulator);
+
+  // The network keeps pointers to the power model and regulator for its
+  // whole lifetime; a temporary would dangle after this statement.
+  Network(const Topology&, const NocConfig&, PowerController&,
+          const PowerModel&&, const SimoLdoRegulator&) = delete;
+  Network(const Topology&, const NocConfig&, PowerController&,
+          const PowerModel&, const SimoLdoRegulator&&) = delete;
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -102,6 +111,36 @@ class Network : public RouterEnvironment {
   /// Effective no-progress watchdog threshold in epochs (0 = disabled).
   /// Resolved from NocConfig::watchdog_epochs and DOZZ_WATCHDOG_EPOCHS.
   int watchdog_epochs() const { return watchdog_epochs_; }
+
+  // --- Checkpoint/restore (src/ckpt; DESIGN.md §8) ---
+  /// Called at the end of every epoch-boundary kernel iteration with the
+  /// boundary tick and the number of epochs processed so far. Returning
+  /// false stops the run right there: the network stays in a
+  /// checkpointable state and metrics are compiled up to the boundary
+  /// (a partial report). The hook is where periodic checkpoints and
+  /// cooperative interruption (signals, timeouts) live.
+  using EpochHook = std::function<bool(Network&, Tick, std::uint64_t)>;
+  void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+
+  /// True when the last run was stopped early by the epoch hook.
+  bool interrupted() const { return interrupted_; }
+  /// True when this network's state was restored from a checkpoint.
+  bool resumed() const { return resumed_; }
+  /// Epoch windows processed so far.
+  std::uint64_t epochs_processed() const { return epochs_processed_; }
+
+  /// Serializes the complete mutable simulation state. Only valid during
+  /// a run (from the epoch hook) or right after an interrupted run, before
+  /// metrics compilation would be re-entered; construction-time wiring
+  /// (topology, config, policy identity) is written as a validation block.
+  void save_checkpoint(CkptWriter& w) const;
+  /// Restores state saved by save_checkpoint into a freshly constructed
+  /// network (same topology/config/policy). The next run()/
+  /// run_until_drained() call continues from the checkpointed epoch and
+  /// must be given the same trace, horizon and drain mode (validated, with
+  /// typed CheckpointError on mismatch). The continuation is bit-identical
+  /// to the uninterrupted run, in either kernel.
+  void restore_checkpoint(CkptReader& r);
 
   // --- RouterEnvironment ---
   bool downstream_can_accept(RouterId r) const override;
@@ -190,6 +229,27 @@ class Network : public RouterEnvironment {
   std::uint64_t epochs_processed_ = 0;
   bool ran_ = false;
   EventObserver* observer_ = nullptr;
+
+  // --- Checkpoint/restore run state (DESIGN.md §8) ---
+  // The kernel loop's progress lives in members (not locals) so a
+  // checkpoint taken at an epoch boundary captures it and a restored
+  // network continues exactly where the interrupted run stopped.
+  std::size_t trace_cursor_ = 0;  ///< Next unmatured trace entry.
+  Tick next_epoch_ = 0;           ///< Next epoch-boundary tick.
+  Tick last_event_ = 0;           ///< Tick of the last kernel event.
+  bool resumed_ = false;          ///< State came from restore_checkpoint.
+  bool interrupted_ = false;      ///< Last run stopped by the epoch hook.
+  bool run_drain_ = false;        ///< Drain mode of the (current) run.
+  Tick run_end_tick_ = 0;         ///< Horizon of the (current) run.
+  EpochHook epoch_hook_;
+  const Trace* running_trace_ = nullptr;  ///< Set for the duration of a run.
+  /// Expected run parameters recorded in the checkpoint, validated when
+  /// the resumed run starts (the trace itself is not serialized).
+  std::string expect_trace_name_;
+  std::uint64_t expect_trace_size_ = 0;
+  std::uint64_t expect_trace_hash_ = 0;
+  bool expect_drain_ = false;
+  Tick expect_end_tick_ = 0;
 
   /// Non-null only when config.faults.enabled; every hook checks this
   /// pointer so fault-free runs skip the layer entirely.

@@ -1,7 +1,9 @@
 #include "src/noc/nic.hpp"
 
 #include <algorithm>
+#include <functional>
 
+#include "src/ckpt/state_io.hpp"
 #include "src/common/error.hpp"
 #include "src/faults/crc.hpp"
 
@@ -29,28 +31,34 @@ void NetworkInterface::schedule_response(std::uint64_t packet_id,
   p.is_response = true;
   p.size_flits = static_cast<std::uint16_t>(config_->response_size_flits);
   p.inject_tick = ready_tick;
-  pending_responses_.push({ready_tick, p});
+  pending_responses_.push_back({ready_tick, p});
+  std::push_heap(pending_responses_.begin(), pending_responses_.end(),
+                 std::greater<TimedResponse>());
 }
 
 void NetworkInterface::schedule_retransmit(const PendingPacket& packet,
                                            Tick ready_tick) {
   DOZZ_REQUIRE(packet.retry > 0);
-  pending_responses_.push({ready_tick, packet});
+  pending_responses_.push_back({ready_tick, packet});
+  std::push_heap(pending_responses_.begin(), pending_responses_.end(),
+                 std::greater<TimedResponse>());
 }
 
 Tick NetworkInterface::next_response_tick() const {
   return pending_responses_.empty() ? kInfTick
-                                    : pending_responses_.top().ready_tick;
+                                    : pending_responses_.front().ready_tick;
 }
 
 int NetworkInterface::mature_responses(Tick now, std::vector<CoreId>* dsts) {
   int matured = 0;
   while (!pending_responses_.empty() &&
-         pending_responses_.top().ready_tick <= now) {
+         pending_responses_.front().ready_tick <= now) {
     if (dsts != nullptr)
-      dsts->push_back(pending_responses_.top().packet.dst_core);
-    enqueue(pending_responses_.top().packet);
-    pending_responses_.pop();
+      dsts->push_back(pending_responses_.front().packet.dst_core);
+    enqueue(pending_responses_.front().packet);
+    std::pop_heap(pending_responses_.begin(), pending_responses_.end(),
+                  std::greater<TimedResponse>());
+    pending_responses_.pop_back();
     ++matured;
   }
   return matured;
@@ -116,6 +124,48 @@ void NetworkInterface::on_ejected_packet(const Flit& tail) {
 void NetworkInterface::reset_epoch_window() {
   epoch_reqs_sent_ = 0;
   epoch_reqs_recvd_ = 0;
+}
+
+void NetworkInterface::save_state(CkptWriter& w) const {
+  w.tag("NIC0");
+  w.u32(static_cast<std::uint32_t>(queues_.size()));
+  for (const auto& queue : queues_) {
+    w.u32(static_cast<std::uint32_t>(queue.size()));
+    for (const auto& packet : queue) ckpt::save_pending_packet(w, packet);
+  }
+  // The heap's raw array is written verbatim: restoring it byte-for-byte
+  // reproduces the pop order of equal-ready_tick entries exactly.
+  w.u32(static_cast<std::uint32_t>(pending_responses_.size()));
+  for (const auto& timed : pending_responses_) {
+    w.u64(timed.ready_tick);
+    ckpt::save_pending_packet(w, timed.packet);
+  }
+  w.u64(epoch_reqs_sent_);
+  w.u64(epoch_reqs_recvd_);
+}
+
+void NetworkInterface::load_state(CkptReader& r) {
+  r.expect_tag("NIC0");
+  const std::uint32_t queues = r.u32();
+  if (queues != queues_.size())
+    r.fail("NIC queue count mismatch (topology changed?)");
+  for (auto& queue : queues_) {
+    queue.clear();
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i)
+      queue.push_back(ckpt::load_pending_packet(r));
+  }
+  pending_responses_.clear();
+  const std::uint32_t pending = r.u32();
+  pending_responses_.reserve(pending);
+  for (std::uint32_t i = 0; i < pending; ++i) {
+    TimedResponse timed;
+    timed.ready_tick = r.u64();
+    timed.packet = ckpt::load_pending_packet(r);
+    pending_responses_.push_back(timed);
+  }
+  epoch_reqs_sent_ = r.u64();
+  epoch_reqs_recvd_ = r.u64();
 }
 
 }  // namespace dozz

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <queue>
 #include <vector>
 
 #include "src/common/time.hpp"
@@ -16,6 +15,9 @@
 #include "src/topology/topology.hpp"
 
 namespace dozz {
+
+class CkptWriter;
+class CkptReader;
 
 /// One router's network interface, multiplexing `concentration` cores onto
 /// the router's local ports.
@@ -68,6 +70,10 @@ class NetworkInterface {
   std::uint64_t epoch_requests_received() const { return epoch_reqs_recvd_; }
   void reset_epoch_window();
 
+  // --- Checkpoint/restore (src/ckpt; DESIGN.md §8) ---
+  void save_state(CkptWriter& w) const;
+  void load_state(CkptReader& r);
+
  private:
   struct TimedResponse {
     Tick ready_tick;
@@ -81,9 +87,10 @@ class NetworkInterface {
   const Topology* topo_;
   const NocConfig* config_;
   std::vector<std::deque<PendingPacket>> queues_;  ///< One per local slot.
-  std::priority_queue<TimedResponse, std::vector<TimedResponse>,
-                      std::greater<TimedResponse>>
-      pending_responses_;
+  /// Min-heap on ready_tick, kept via std::push_heap/std::pop_heap so the
+  /// raw array layout — which fixes the pop order of equal-ready_tick
+  /// entries — can be checkpointed and restored verbatim.
+  std::vector<TimedResponse> pending_responses_;
   std::uint64_t epoch_reqs_sent_ = 0;
   std::uint64_t epoch_reqs_recvd_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/ckpt/state_io.hpp"
 #include "src/common/error.hpp"
 #include "src/faults/fault_injector.hpp"
 
@@ -495,6 +496,202 @@ double Router::lifetime_ibu() const {
   return life_cap_ == 0 ? 0.0
                         : static_cast<double>(life_occ_) /
                               static_cast<double>(life_cap_);
+}
+
+void Router::save_state(CkptWriter& w) const {
+  w.tag("RTR0");
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u8(static_cast<std::uint8_t>(mode_));
+  w.u64(next_edge_);
+  w.u64(stall_until_);
+  w.u64(wake_done_);
+  w.u64(off_since_);
+  w.u64(last_secured_);
+  w.boolean(ever_secured_);
+  w.i32(idle_cycles_);
+  w.i64(inbound_inflight_);
+
+  ckpt::save_energy_accountant(w, accountant_);
+  w.u64(last_account_);
+  for (Tick t : active_mode_ticks_) w.u64(t);
+
+  w.u64(gatings_);
+  w.u64(wakeups_);
+  w.u64(premature_wakeups_);
+  w.u64(mode_switches_);
+
+  w.u64(stuck_until_);
+  w.u64(wake_faults_);
+  w.u64(regulator_faults_);
+
+  w.i32(buffered_flits_);
+  w.i64(pending_credits_);
+
+  w.u64(epoch_occ_);
+  w.u64(epoch_cap_);
+  w.f64(epoch_peak_ibu_);
+  w.f64(util_ema_);
+  w.u64(life_occ_);
+  w.u64(life_cap_);
+
+  w.u32(static_cast<std::uint32_t>(ep_port_occ_.size()));
+  for (std::uint64_t v : ep_port_occ_) w.u64(v);
+  w.u32(static_cast<std::uint32_t>(ep_port_peak_.size()));
+  for (int v : ep_port_peak_) w.i32(v);
+  w.u32(static_cast<std::uint32_t>(ep_port_arrivals_.size()));
+  for (std::uint64_t v : ep_port_arrivals_) w.u64(v);
+  w.u32(static_cast<std::uint32_t>(ep_port_departures_.size()));
+  for (std::uint64_t v : ep_port_departures_) w.u64(v);
+  w.u64(ep_edges_);
+  w.u64(ep_idle_edges_);
+  w.u64(ep_injected_);
+  w.u64(ep_ejected_);
+  w.u64(ep_secures_);
+  w.f64(ep_raw_peak_ibu_);
+
+  // Input buffers: per port, per VC, the flit FIFO plus wormhole allocation.
+  w.tag("RBUF");
+  w.u32(static_cast<std::uint32_t>(inputs_.size()));
+  for (const auto& port : inputs_) {
+    w.u32(static_cast<std::uint32_t>(port.num_vcs()));
+    for (int v = 0; v < port.num_vcs(); ++v) {
+      const VirtualChannel& vc = port.vc(v);
+      w.u32(static_cast<std::uint32_t>(vc.flits().size()));
+      for (const Flit& f : vc.flits()) ckpt::save_flit(w, f);
+      w.boolean(vc.allocated());
+      w.i32(vc.out_port());
+      w.i32(vc.out_vc());
+    }
+  }
+
+  // In-flight channel entries (flits and credits maturing on the links).
+  w.tag("RCHN");
+  w.u32(static_cast<std::uint32_t>(flit_in_.size()));
+  for (const auto& ch : flit_in_) {
+    w.u32(static_cast<std::uint32_t>(ch.entries().size()));
+    for (const TimedFlit& t : ch.entries()) ckpt::save_timed_flit(w, t);
+  }
+  w.u32(static_cast<std::uint32_t>(credit_in_.size()));
+  for (const auto& ch : credit_in_) {
+    w.u32(static_cast<std::uint32_t>(ch.entries().size()));
+    for (const TimedCredit& t : ch.entries()) ckpt::save_timed_credit(w, t);
+  }
+
+  // Output-side allocation state.
+  w.tag("ROUT");
+  w.u32(static_cast<std::uint32_t>(outputs_.size()));
+  for (const auto& out : outputs_) {
+    w.u32(static_cast<std::uint32_t>(out.credits.size()));
+    for (int c : out.credits) w.i32(c);
+    for (char b : out.vc_busy) w.u8(static_cast<std::uint8_t>(b));
+    w.i32(out.last_grant);
+  }
+}
+
+void Router::load_state(CkptReader& r) {
+  r.expect_tag("RTR0");
+  const std::uint8_t state = r.u8();
+  if (state > static_cast<std::uint8_t>(RouterState::kActive))
+    r.fail("invalid router state");
+  state_ = static_cast<RouterState>(state);
+  const std::uint8_t mode = r.u8();
+  if (mode >= kNumVfModes) r.fail("invalid V/F mode");
+  mode_ = static_cast<VfMode>(mode);
+  next_edge_ = r.u64();
+  stall_until_ = r.u64();
+  wake_done_ = r.u64();
+  off_since_ = r.u64();
+  last_secured_ = r.u64();
+  ever_secured_ = r.boolean();
+  idle_cycles_ = r.i32();
+  inbound_inflight_ = r.i64();
+
+  ckpt::load_energy_accountant(r, &accountant_);
+  last_account_ = r.u64();
+  for (auto& t : active_mode_ticks_) t = r.u64();
+
+  gatings_ = r.u64();
+  wakeups_ = r.u64();
+  premature_wakeups_ = r.u64();
+  mode_switches_ = r.u64();
+
+  stuck_until_ = r.u64();
+  wake_faults_ = r.u64();
+  regulator_faults_ = r.u64();
+
+  buffered_flits_ = r.i32();
+  pending_credits_ = r.i64();
+
+  epoch_occ_ = r.u64();
+  epoch_cap_ = r.u64();
+  epoch_peak_ibu_ = r.f64();
+  util_ema_ = r.f64();
+  life_occ_ = r.u64();
+  life_cap_ = r.u64();
+
+  const auto load_u64_vec = [&r](std::vector<std::uint64_t>* out) {
+    const std::uint32_t n = r.u32();
+    if (n != out->size()) r.fail("per-port counter size mismatch");
+    for (auto& v : *out) v = r.u64();
+  };
+  load_u64_vec(&ep_port_occ_);
+  {
+    const std::uint32_t n = r.u32();
+    if (n != ep_port_peak_.size()) r.fail("per-port counter size mismatch");
+    for (auto& v : ep_port_peak_) v = r.i32();
+  }
+  load_u64_vec(&ep_port_arrivals_);
+  load_u64_vec(&ep_port_departures_);
+  ep_edges_ = r.u64();
+  ep_idle_edges_ = r.u64();
+  ep_injected_ = r.u64();
+  ep_ejected_ = r.u64();
+  ep_secures_ = r.u64();
+  ep_raw_peak_ibu_ = r.f64();
+
+  r.expect_tag("RBUF");
+  if (r.u32() != inputs_.size()) r.fail("input port count mismatch");
+  for (auto& port : inputs_) {
+    if (r.u32() != static_cast<std::uint32_t>(port.num_vcs()))
+      r.fail("VC count mismatch");
+    for (int v = 0; v < port.num_vcs(); ++v) {
+      const std::uint32_t flits = r.u32();
+      std::deque<Flit> queue;
+      for (std::uint32_t i = 0; i < flits; ++i)
+        queue.push_back(ckpt::load_flit(r));
+      const bool allocated = r.boolean();
+      const int out_port = r.i32();
+      const int out_vc = r.i32();
+      port.vc(v).restore(std::move(queue), allocated, out_port, out_vc);
+    }
+  }
+
+  r.expect_tag("RCHN");
+  if (r.u32() != flit_in_.size()) r.fail("flit channel count mismatch");
+  for (auto& ch : flit_in_) {
+    const std::uint32_t n = r.u32();
+    std::deque<TimedFlit> entries;
+    for (std::uint32_t i = 0; i < n; ++i)
+      entries.push_back(ckpt::load_timed_flit(r));
+    ch.restore_entries(std::move(entries));
+  }
+  if (r.u32() != credit_in_.size()) r.fail("credit channel count mismatch");
+  for (auto& ch : credit_in_) {
+    const std::uint32_t n = r.u32();
+    std::deque<TimedCredit> entries;
+    for (std::uint32_t i = 0; i < n; ++i)
+      entries.push_back(ckpt::load_timed_credit(r));
+    ch.restore_entries(std::move(entries));
+  }
+
+  r.expect_tag("ROUT");
+  if (r.u32() != outputs_.size()) r.fail("output port count mismatch");
+  for (auto& out : outputs_) {
+    if (r.u32() != out.credits.size()) r.fail("output VC count mismatch");
+    for (auto& c : out.credits) c = r.i32();
+    for (auto& b : out.vc_busy) b = static_cast<char>(r.u8());
+    out.last_grant = r.i32();
+  }
 }
 
 }  // namespace dozz

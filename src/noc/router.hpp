@@ -25,6 +25,8 @@
 
 namespace dozz {
 
+class CkptWriter;
+class CkptReader;
 class FaultInjector;
 class Router;
 
@@ -189,6 +191,14 @@ class Router {
   /// Flushes static-energy accounting up to `now`. Must be called before
   /// reading the accountant at arbitrary times and at end of simulation.
   void account_until(Tick now);
+
+  // --- Checkpoint/restore (src/ckpt; DESIGN.md §8) ---
+  /// Serializes all mutable router state: operating state/mode/clock,
+  /// buffers, in-flight channel entries, energy accounting and every
+  /// statistics counter. Construction-time wiring (id, topology, config,
+  /// regulator, neighbors, capacities) is rebuilt from the configuration.
+  void save_state(CkptWriter& w) const;
+  void load_state(CkptReader& r);
 
  private:
   struct OutputState {

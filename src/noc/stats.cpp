@@ -1,5 +1,7 @@
 #include "src/noc/stats.hpp"
 
+#include "src/ckpt/serial.hpp"
+
 namespace dozz {
 
 VfMode mode_for_utilization(double ibu) {
@@ -33,6 +35,35 @@ VfMode PowerController::resolve_degraded(RouterId r, VfMode selected) const {
   if (!pinned_nominal_.empty() && pinned_nominal_.count(r) != 0)
     return kNominalMode;
   return selected;
+}
+
+namespace {
+
+void save_router_set(CkptWriter& w, const std::set<RouterId>& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (RouterId r : s) w.i32(r);  // std::set iterates sorted: stable bytes.
+}
+
+void load_router_set(CkptReader& r, std::set<RouterId>* out) {
+  out->clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) out->insert(r.i32());
+}
+
+}  // namespace
+
+void PowerController::save_state(CkptWriter& w) const {
+  w.tag("POL0");
+  save_router_set(w, gating_degraded_);
+  save_router_set(w, pinned_nominal_);
+  save_extra_state(w);
+}
+
+void PowerController::load_state(CkptReader& r) {
+  r.expect_tag("POL0");
+  load_router_set(r, &gating_degraded_);
+  load_router_set(r, &pinned_nominal_);
+  load_extra_state(r);
 }
 
 }  // namespace dozz

@@ -16,6 +16,9 @@
 
 namespace dozz {
 
+class CkptWriter;
+class CkptReader;
+
 /// The reduced five-feature set of Table IV, captured per router per epoch.
 struct EpochFeatures {
   double bias = 1.0;           ///< Feature 1: array of 1s.
@@ -110,10 +113,23 @@ class PowerController {
   /// Routers affected by either downgrade.
   std::size_t degraded_router_count() const;
 
+  // --- Checkpoint/restore (src/ckpt; DESIGN.md §8) ---
+  // Serializes the degradation sets plus whatever epoch-aligned state the
+  // concrete policy keeps (via the save_extra_state/load_extra_state
+  // hooks). Weights and configuration are not captured: a resume must
+  // reconstruct the same policy object before calling load_state.
+  void save_state(CkptWriter& w) const;
+  void load_state(CkptReader& r);
+
  protected:
   /// Applies the pin-nominal downgrade to a mode decision. Concrete
   /// policies route their select_mode result through this.
   VfMode resolve_degraded(RouterId r, VfMode selected) const;
+
+  /// Hooks for policy-specific mutable state (window counters, oracle
+  /// cursors). Defaults are empty: stateless policies need nothing.
+  virtual void save_extra_state(CkptWriter& /*w*/) const {}
+  virtual void load_extra_state(CkptReader& /*r*/) {}
 
  private:
   std::set<RouterId> gating_degraded_;

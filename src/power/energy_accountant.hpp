@@ -68,6 +68,40 @@ class EnergyAccountant {
   void merge(const EnergyAccountant& other);
   void reset();
 
+  /// All mutable accumulator state, for checkpoint/restore. The model
+  /// pointers are construction-time wiring and stay with the object.
+  struct Snapshot {
+    double static_j = 0.0;
+    double dynamic_j = 0.0;
+    double ml_j = 0.0;
+    double wall_static_j = 0.0;
+    double wall_dynamic_j = 0.0;
+    std::uint64_t hops = 0;
+    std::array<std::uint64_t, kNumVfModes> hops_per_mode{};
+    std::uint64_t labels = 0;
+    Tick active_ticks = 0;
+    Tick wakeup_ticks = 0;
+    Tick inactive_ticks = 0;
+  };
+  Snapshot snapshot() const {
+    return {static_j_,      dynamic_j_,    ml_j_,   wall_static_j_,
+            wall_dynamic_j_, hops_,        hops_per_mode_, labels_,
+            active_ticks_,  wakeup_ticks_, inactive_ticks_};
+  }
+  void restore(const Snapshot& s) {
+    static_j_ = s.static_j;
+    dynamic_j_ = s.dynamic_j;
+    ml_j_ = s.ml_j;
+    wall_static_j_ = s.wall_static_j;
+    wall_dynamic_j_ = s.wall_dynamic_j;
+    hops_ = s.hops;
+    hops_per_mode_ = s.hops_per_mode;
+    labels_ = s.labels;
+    active_ticks_ = s.active_ticks;
+    wakeup_ticks_ = s.wakeup_ticks;
+    inactive_ticks_ = s.inactive_ticks;
+  }
+
  private:
   const PowerModel* power_;
   const SimoLdoRegulator* regulator_;

@@ -1,13 +1,26 @@
 #include "src/sim/batch.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "src/common/error.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/sim/report.hpp"
 #include "src/trafficgen/trace.hpp"
 
 namespace dozz {
+
+std::string batch_job_key(const BatchJob& job) {
+  char compression[32];
+  std::snprintf(compression, sizeof compression, "%g", job.compression);
+  return policy_name(job.kind) + "|" + job.benchmark + "|" + compression +
+         "|" + (job.reactive_twin ? "twin" : "policy");
+}
 
 std::vector<RunOutcome> run_batch(const SimSetup& setup,
                                   const std::vector<BatchJob>& jobs,
@@ -54,6 +67,242 @@ std::vector<RunOutcome> run_batch(const SimSetup& setup,
   }
   pool.wait_all();
   return results;
+}
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// A job key rendered safe for use as a file name.
+std::string key_to_filename(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    out += safe ? c : '_';
+  }
+  return out;
+}
+
+/// Shared, mutex-guarded sweep state: the manifest plus the counters that
+/// tasks on different workers update.
+struct SweepState {
+  explicit SweepState(const BatchOptions& options) : options(options) {}
+
+  const BatchOptions& options;
+  std::mutex mutex;
+  SweepManifest manifest;
+  int completed = 0;
+  int failed = 0;
+  int retried = 0;
+  bool stopped = false;
+
+  /// Persists the manifest (if configured). Caller holds `mutex`.
+  void persist_locked() {
+    if (!options.manifest_path.empty())
+      save_manifest_file(manifest, options.manifest_path);
+  }
+};
+
+/// Runs one job under supervision: retry-from-checkpoint on SimStallError
+/// (watchdog stall or wall-clock timeout), fail-fast on anything else,
+/// manifest updated and persisted on every transition. Never throws — a
+/// supervised sweep reports failures through the manifest, not by tearing
+/// down the pool.
+void run_supervised_job(const SimSetup& setup, const BatchJob& job,
+                        const Trace& trace, int routers, std::size_t index,
+                        SweepState* state, RunOutcome* out) {
+  const BatchOptions& options = state->options;
+  JobRecord* record = &state->manifest.jobs[index];
+
+  // A job recorded as running/failed by a killed sweep resumes from its
+  // checkpoint when that file survived; otherwise it restarts.
+  bool resume_from_checkpoint = options.resume &&
+                                !record->checkpoint.empty() &&
+                                file_exists(record->checkpoint);
+
+  double backoff_s = options.retry_backoff_s;
+  for (int attempt = 0;; ++attempt) {
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      if (options.stop && options.stop->load()) {
+        // Never started: stays pending/running so --resume picks it up.
+        state->stopped = true;
+        return;
+      }
+      record->status = "running";
+      ++record->attempts;
+      state->persist_locked();
+    }
+
+    RunControl control;
+    control.checkpoint_interval_epochs = options.checkpoint_interval_epochs;
+    if (!options.checkpoint_dir.empty()) {
+      control.checkpoint_path = options.checkpoint_dir + "/" +
+                                key_to_filename(record->key) + ".ckpt";
+    }
+    control.resume =
+        resume_from_checkpoint && !control.checkpoint_path.empty();
+    control.stop = options.stop;
+    control.timeout_s = options.job_timeout_s;
+
+    try {
+      auto policy = job.reactive_twin
+                        ? make_reactive_twin(job.kind, routers)
+                        : make_policy(job.kind, routers, job.weights);
+      RunOutcome outcome = run_simulation_controlled(
+          setup, *policy, trace, PowerModel(), control, job.collect_epoch_log,
+          job.collect_extended_log);
+      if (!job.label.empty()) outcome.trace = job.label;
+
+      std::unique_lock<std::mutex> lock(state->mutex);
+      record->checkpoint = control.checkpoint_path;
+      if (outcome.interrupted) {
+        // Stop flag: the final checkpoint is on disk and the job stays
+        // "running" so --resume continues it mid-run.
+        state->stopped = true;
+      } else {
+        record->status = "done";
+        record->error.clear();
+        record->report_json = outcome_to_json(outcome);
+        ++state->completed;
+        *out = std::move(outcome);
+      }
+      state->persist_locked();
+      return;
+    } catch (const SimStallError& e) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      record->error = e.what();
+      record->checkpoint = control.checkpoint_path;
+      const bool stop_requested = options.stop && options.stop->load();
+      if (attempt < options.max_retries && !stop_requested) {
+        ++state->retried;
+        state->persist_locked();
+        lock.unlock();
+        if (backoff_s > 0.0)
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff_s));
+        backoff_s *= 2.0;
+        // A timeout save (or the last interval save) lets the retry pick
+        // up where the stalled attempt left off.
+        resume_from_checkpoint = !control.checkpoint_path.empty() &&
+                                 file_exists(control.checkpoint_path);
+        continue;
+      }
+      record->status = "failed";
+      ++state->failed;
+      if (stop_requested) state->stopped = true;
+      state->persist_locked();
+      return;
+    } catch (const std::exception& e) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      record->status = "failed";
+      record->error = e.what();
+      ++state->failed;
+      state->persist_locked();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+BatchResult run_batch_supervised(const SimSetup& setup,
+                                 const std::vector<BatchJob>& jobs,
+                                 const BatchOptions& options) {
+  BatchResult result;
+  result.outcomes.resize(jobs.size());
+
+  const int routers = setup.make_topology().num_routers();
+  for (const BatchJob& job : jobs)
+    DOZZ_REQUIRE(!(job.reactive_twin && job.weights.has_value()));
+
+  SweepState state(options);
+
+  // Build the manifest: fresh records, or the resumed file validated
+  // against this job list (same jobs, same order — the sweep definition is
+  // deterministic, so any mismatch means the manifest belongs to a
+  // different sweep).
+  if (options.resume && !options.manifest_path.empty() &&
+      file_exists(options.manifest_path)) {
+    state.manifest = load_manifest_file(options.manifest_path);
+    if (state.manifest.jobs.size() != jobs.size())
+      throw CheckpointError(
+          "manifest " + options.manifest_path + ": describes " +
+          std::to_string(state.manifest.jobs.size()) + " jobs, sweep has " +
+          std::to_string(jobs.size()));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const std::string key = batch_job_key(jobs[i]);
+      if (state.manifest.jobs[i].key != key)
+        throw CheckpointError("manifest " + options.manifest_path + ": job " +
+                              std::to_string(i) + " is \"" +
+                              state.manifest.jobs[i].key +
+                              "\", sweep expects \"" + key + "\"");
+    }
+  } else {
+    state.manifest.jobs.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      JobRecord& record = state.manifest.jobs[i];
+      record.key = batch_job_key(jobs[i]);
+      record.label = jobs[i].label;
+      record.status = "pending";
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.persist_locked();
+  }
+  if (jobs.empty()) {
+    result.manifest = state.manifest;
+    return result;
+  }
+
+  ThreadPool pool(options.threads == 0 ? default_thread_count()
+                                       : options.threads);
+
+  // Phase 1: shared trace generation, as in run_batch(). Only traces that
+  // a not-yet-done job still needs are generated, so a fully-done resumed
+  // sweep generates nothing.
+  using TraceKey = std::pair<std::string, double>;
+  std::map<TraceKey, Trace> traces;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (state.manifest.jobs[i].status == "done") continue;
+    traces.emplace(TraceKey{jobs[i].benchmark, jobs[i].compression}, Trace{});
+  }
+  for (auto& [key, trace] : traces) {
+    const TraceKey* key_ptr = &key;
+    Trace* out = &trace;
+    pool.submit([&setup, key_ptr, out] {
+      *out = make_benchmark_trace(setup, key_ptr->first, key_ptr->second);
+    });
+  }
+  pool.wait_all();
+
+  // Phase 2: one supervised task per not-yet-done job.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (state.manifest.jobs[i].status == "done") {
+      ++result.skipped;
+      continue;
+    }
+    const BatchJob* job = &jobs[i];
+    RunOutcome* out = &result.outcomes[i];
+    const Trace* trace = &traces.at(TraceKey{job->benchmark, job->compression});
+    pool.submit([&setup, routers, i, job, trace, out, &state] {
+      run_supervised_job(setup, *job, *trace, routers, i, &state, out);
+    });
+  }
+  pool.wait_all();
+
+  result.manifest = state.manifest;
+  result.completed = state.completed;
+  result.failed = state.failed;
+  result.retried = state.retried;
+  result.stopped = state.stopped;
+  result.suppressed_exceptions = pool.suppressed_exceptions();
+  return result;
 }
 
 }  // namespace dozz

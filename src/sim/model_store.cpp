@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/common/atomic_file.hpp"
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
 
@@ -52,8 +53,15 @@ WeightVector load_or_train(PolicyKind kind, const SimSetup& setup,
   std::error_code ec;
   std::filesystem::create_directories(model_cache_dir(), ec);
   if (!ec) {
-    std::ofstream out(path);
-    if (out) model.weights.save(out);
+    // Atomic write: a concurrent sweep reading the cache sees either no
+    // entry or a complete one, never a half-written weight file.
+    std::ostringstream out;
+    model.weights.save(out);
+    try {
+      atomic_write_file(path, out.str());
+    } catch (const InputError& e) {
+      DOZZ_LOG_INFO("could not persist weight cache: " << e.what());
+    }
   }
   return model.weights;
 }

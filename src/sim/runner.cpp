@@ -1,5 +1,9 @@
 #include "src/sim/runner.hpp"
 
+#include <chrono>
+#include <sstream>
+
+#include "src/ckpt/checkpoint.hpp"
 #include "src/common/error.hpp"
 #include "src/noc/extended_features.hpp"
 #include "src/trafficgen/benchmarks.hpp"
@@ -19,6 +23,17 @@ RunOutcome run_simulation_with_power(const SimSetup& setup,
                                      const PowerModel& power,
                                      bool collect_epoch_log,
                                      bool collect_extended_log) {
+  return run_simulation_controlled(setup, policy, trace, power, RunControl{},
+                                   collect_epoch_log, collect_extended_log);
+}
+
+RunOutcome run_simulation_controlled(const SimSetup& setup,
+                                     PowerController& policy,
+                                     const Trace& trace,
+                                     const PowerModel& power,
+                                     const RunControl& control,
+                                     bool collect_epoch_log,
+                                     bool collect_extended_log) {
   // Each run deliberately builds a fresh Network rather than reusing one
   // owned by the setup: a Network is single-shot (run() consumes it), its
   // hot-path scratch (epoch rows, feature vectors, latency histogram) is
@@ -31,6 +46,49 @@ RunOutcome run_simulation_with_power(const SimSetup& setup,
 
   SimoLdoRegulator regulator;
   Network net(topo, config, policy, power, regulator);
+
+  if (control.resume) {
+    DOZZ_REQUIRE(!control.checkpoint_path.empty());
+    restore_checkpoint_file(net, control.checkpoint_path);
+  }
+
+  std::uint64_t checkpoints_written = 0;
+  const bool supervised = control.checkpoint_interval_epochs > 0 ||
+                          control.stop != nullptr || control.timeout_s > 0.0;
+  if (supervised) {
+    const auto start = std::chrono::steady_clock::now();
+    net.set_epoch_hook([&control, &checkpoints_written, start](
+                           Network& n, Tick now, std::uint64_t epochs) {
+      const bool stop_requested = control.stop && control.stop->load();
+      bool timed_out = false;
+      if (control.timeout_s > 0.0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        timed_out = elapsed >= control.timeout_s;
+      }
+      const bool interval_due =
+          control.checkpoint_interval_epochs > 0 &&
+          epochs % control.checkpoint_interval_epochs == 0;
+      // The save happens *before* a timeout throw or stop return, so the
+      // file on disk always covers everything the run completed and a
+      // supervised retry resumes instead of restarting.
+      if (!control.checkpoint_path.empty() &&
+          (interval_due || stop_requested || timed_out)) {
+        save_checkpoint_file(n, control.checkpoint_path);
+        ++checkpoints_written;
+      }
+      if (timed_out) {
+        std::ostringstream msg;
+        msg << "wall-clock timeout: run exceeded " << control.timeout_s
+            << " s at epoch " << epochs;
+        throw SimStallError(msg.str(), now);
+      }
+      return !stop_requested;
+    });
+  }
+
   try {
     if (setup.run_to_drain)
       net.run_until_drained(trace, setup.max_drain_tick());
@@ -50,6 +108,8 @@ RunOutcome run_simulation_with_power(const SimSetup& setup,
   outcome.metrics = net.metrics();
   outcome.epoch_log = net.epoch_log();
   outcome.extended_log = net.extended_log();
+  outcome.interrupted = net.interrupted();
+  outcome.checkpoints_written = checkpoints_written;
   return outcome;
 }
 

@@ -2,6 +2,8 @@
 // and convert epoch feature logs into ML datasets.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,36 @@ struct RunOutcome {
   std::vector<std::vector<EpochFeatures>> epoch_log;  ///< If collected.
   /// Extended (41-feature) log, if collected: [epoch][router][feature].
   std::vector<std::vector<std::vector<double>>> extended_log;
+  /// True when the run stopped early at an epoch boundary (stop flag); the
+  /// metrics then cover only the completed portion of the run.
+  bool interrupted = false;
+  /// Checkpoint files written during the run (interval + interrupt saves).
+  std::uint64_t checkpoints_written = 0;
+};
+
+/// Supervision knobs for run_simulation_controlled. The default-constructed
+/// control is equivalent to run_simulation_with_power: no checkpoints, no
+/// timeout, never interrupted.
+struct RunControl {
+  /// Save a checkpoint every N processed epochs (0 = never). Requires
+  /// `checkpoint_path`.
+  std::uint64_t checkpoint_interval_epochs = 0;
+  /// Where checkpoints are written (atomically; the file always holds the
+  /// latest complete checkpoint).
+  std::string checkpoint_path;
+  /// Restore `checkpoint_path` into the fresh network before running; the
+  /// run then continues from the checkpointed epoch and produces a final
+  /// report byte-identical to an uninterrupted run.
+  bool resume = false;
+  /// Cooperative stop: when set, the run finishes the current epoch, saves
+  /// a final checkpoint (if `checkpoint_path` is set) and returns with
+  /// `interrupted = true`.
+  const std::atomic<bool>* stop = nullptr;
+  /// Wall-clock budget for this run in seconds (0 = unlimited). On expiry a
+  /// final checkpoint is saved (if `checkpoint_path` is set) and
+  /// SimStallError is thrown, so supervised retry resumes instead of
+  /// restarting.
+  double timeout_s = 0.0;
 };
 
 /// Runs `trace` on the setup's topology under `policy` until the setup's
@@ -36,6 +68,17 @@ RunOutcome run_simulation_with_power(const SimSetup& setup,
                                      PowerController& policy,
                                      const Trace& trace,
                                      const PowerModel& power,
+                                     bool collect_epoch_log = false,
+                                     bool collect_extended_log = false);
+
+/// run_simulation_with_power plus supervision: periodic checkpointing,
+/// cooperative stop, resume-from-checkpoint and a wall-clock timeout (see
+/// RunControl).
+RunOutcome run_simulation_controlled(const SimSetup& setup,
+                                     PowerController& policy,
+                                     const Trace& trace,
+                                     const PowerModel& power,
+                                     const RunControl& control,
                                      bool collect_epoch_log = false,
                                      bool collect_extended_log = false);
 

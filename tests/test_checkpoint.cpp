@@ -1,0 +1,534 @@
+// Checkpoint/restore contract: interrupting a run at any epoch boundary,
+// serializing the network, restoring into a fresh network and finishing
+// must produce a final report bit-identical to the uninterrupted run — for
+// every policy kind, in both kernels, with the fault layer armed or not,
+// and even across kernels (checkpoint under the linear kernel, resume
+// under the indexed one). Also covers the file framing, the typed
+// validation errors, the sweep manifest, and the supervised batch runner's
+// skip/retry/timeout behavior.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/ckpt/checkpoint.hpp"
+#include "src/ckpt/serial.hpp"
+#include "src/common/error.hpp"
+#include "src/core/policies.hpp"
+#include "src/noc/network.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/sim/batch.hpp"
+#include "src/sim/runner.hpp"
+#include "src/sim/setup.hpp"
+
+namespace dozz {
+namespace {
+
+std::string sanitize(std::string name) {
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return name;
+}
+
+WeightVector passthrough_weights() {
+  WeightVector w;
+  w.feature_names = EpochFeatures::names();
+  w.weights = {0.0, 0.0, 0.0, 0.0, 1.0};
+  return w;
+}
+
+std::optional<WeightVector> weights_for(PolicyKind kind) {
+  return policy_uses_ml(kind)
+             ? std::optional<WeightVector>(passthrough_weights())
+             : std::nullopt;
+}
+
+void expect_stat_identical(const RunningStat& a, const RunningStat& b,
+                           const char* label) {
+  EXPECT_EQ(a.count(), b.count()) << label;
+  EXPECT_EQ(a.mean(), b.mean()) << label;
+  EXPECT_EQ(a.variance(), b.variance()) << label;
+  EXPECT_EQ(a.min(), b.min()) << label;
+  EXPECT_EQ(a.max(), b.max()) << label;
+}
+
+void expect_metrics_identical(const NetworkMetrics& a,
+                              const NetworkMetrics& b) {
+  EXPECT_EQ(a.packets_offered, b.packets_offered);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.flits_delivered, b.flits_delivered);
+  EXPECT_EQ(a.requests_delivered, b.requests_delivered);
+  EXPECT_EQ(a.responses_delivered, b.responses_delivered);
+  expect_stat_identical(a.packet_latency_ns, b.packet_latency_ns,
+                        "packet_latency_ns");
+  expect_stat_identical(a.network_latency_ns, b.network_latency_ns,
+                        "network_latency_ns");
+  expect_stat_identical(a.packet_hops, b.packet_hops, "packet_hops");
+  EXPECT_EQ(a.sim_ticks, b.sim_ticks);
+  EXPECT_EQ(a.static_energy_j, b.static_energy_j);
+  EXPECT_EQ(a.dynamic_energy_j, b.dynamic_energy_j);
+  EXPECT_EQ(a.ml_energy_j, b.ml_energy_j);
+  EXPECT_EQ(a.wall_static_energy_j, b.wall_static_energy_j);
+  EXPECT_EQ(a.wall_dynamic_energy_j, b.wall_dynamic_energy_j);
+  EXPECT_EQ(a.gatings, b.gatings);
+  EXPECT_EQ(a.wakeups, b.wakeups);
+  EXPECT_EQ(a.premature_wakeups, b.premature_wakeups);
+  EXPECT_EQ(a.mode_switches, b.mode_switches);
+  EXPECT_EQ(a.labels_computed, b.labels_computed);
+  for (std::size_t i = 0; i < a.state_fractions.size(); ++i)
+    EXPECT_EQ(a.state_fractions[i], b.state_fractions[i]) << "state " << i;
+  for (std::size_t i = 0; i < a.epoch_mode_counts.size(); ++i)
+    EXPECT_EQ(a.epoch_mode_counts[i], b.epoch_mode_counts[i]) << "mode " << i;
+  EXPECT_EQ(a.avg_ibu, b.avg_ibu);
+  EXPECT_EQ(a.off_time_fraction, b.off_time_fraction);
+  EXPECT_EQ(a.latency_p50_ns, b.latency_p50_ns);
+  EXPECT_EQ(a.latency_p95_ns, b.latency_p95_ns);
+  EXPECT_EQ(a.latency_p99_ns, b.latency_p99_ns);
+  EXPECT_EQ(a.faults.flits_corrupted, b.faults.flits_corrupted);
+  EXPECT_EQ(a.faults.wakes_dropped, b.faults.wakes_dropped);
+  EXPECT_EQ(a.faults.retransmissions, b.faults.retransmissions);
+  EXPECT_EQ(a.faults.packets_lost, b.faults.packets_lost);
+  EXPECT_EQ(a.faults.droops, b.faults.droops);
+  EXPECT_EQ(a.faults.mode_switch_failures, b.faults.mode_switch_failures);
+}
+
+void expect_epoch_logs_identical(
+    const std::vector<std::vector<EpochFeatures>>& a,
+    const std::vector<std::vector<EpochFeatures>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    ASSERT_EQ(a[e].size(), b[e].size()) << "epoch " << e;
+    for (std::size_t r = 0; r < a[e].size(); ++r) {
+      EXPECT_EQ(a[e][r].bias, b[e][r].bias);
+      EXPECT_EQ(a[e][r].reqs_sent, b[e][r].reqs_sent) << e << "/" << r;
+      EXPECT_EQ(a[e][r].reqs_received, b[e][r].reqs_received) << e << "/" << r;
+      EXPECT_EQ(a[e][r].total_off_kcycles, b[e][r].total_off_kcycles)
+          << e << "/" << r;
+      EXPECT_EQ(a[e][r].current_ibu, b[e][r].current_ibu) << e << "/" << r;
+    }
+  }
+}
+
+SimSetup small_setup(bool legacy_kernel, bool faults_armed) {
+  SimSetup setup;
+  setup.duration_cycles = 6000;
+  setup.run_to_drain = true;
+  setup.noc.epoch_cycles = 500;
+  setup.noc.legacy_linear_kernel = legacy_kernel;
+  setup.noc.collect_epoch_log = true;
+  // Armed = fault layer on with all rates zero: the checkpoint then also
+  // carries the injector RNG + fault stats sections.
+  if (faults_armed) setup.noc.faults.enabled = true;
+  return setup;
+}
+
+void drive(Network& net, const SimSetup& setup, const Trace& trace) {
+  if (setup.run_to_drain)
+    net.run_until_drained(trace, setup.max_drain_tick());
+  else
+    net.run(trace, setup.end_tick());
+}
+
+RunOutcome run_uninterrupted(const SimSetup& setup, PolicyKind kind,
+                             const Trace& trace) {
+  const int routers = setup.make_topology().num_routers();
+  auto policy = make_policy(kind, routers, weights_for(kind));
+  return run_simulation(setup, *policy, trace);
+}
+
+/// Runs until epoch `stop_epoch`, checkpoints in memory, abandons the run,
+/// then restores into a fresh network (optionally with the other kernel)
+/// and finishes. Returns the resumed run's outcome.
+RunOutcome run_interrupted_then_resumed(const SimSetup& setup,
+                                        PolicyKind kind, const Trace& trace,
+                                        std::uint64_t stop_epoch,
+                                        bool resume_with_other_kernel =
+                                            false) {
+  const Topology topo = setup.make_topology();
+  const int routers = topo.num_routers();
+
+  CkptWriter w;
+  bool saved = false;
+  {
+    auto policy = make_policy(kind, routers, weights_for(kind));
+    SimoLdoRegulator regulator;
+    const PowerModel power;
+    Network net(topo, setup.noc, *policy, power, regulator);
+    net.set_epoch_hook([&w, &saved, stop_epoch](Network& n, Tick,
+                                                std::uint64_t epochs) {
+      if (epochs != stop_epoch) return true;
+      n.save_checkpoint(w);
+      saved = true;
+      return false;
+    });
+    drive(net, setup, trace);
+    EXPECT_TRUE(net.interrupted());
+    // Interrupted runs still compile a (partial) report without crashing.
+    EXPECT_GT(net.metrics().sim_ticks, 0u);
+  }
+  EXPECT_TRUE(saved) << "run ended before epoch " << stop_epoch;
+
+  NocConfig resumed_config = setup.noc;
+  if (resume_with_other_kernel)
+    resumed_config.legacy_linear_kernel = !resumed_config.legacy_linear_kernel;
+  auto policy = make_policy(kind, routers, weights_for(kind));
+  SimoLdoRegulator regulator;
+  const PowerModel power;
+  Network net(topo, resumed_config, *policy, power, regulator);
+  const auto& payload = w.bytes();
+  CkptReader r(payload.data(), payload.size(), "<memory>");
+  net.restore_checkpoint(r);
+  r.expect_end();
+  EXPECT_TRUE(net.resumed());
+  drive(net, setup, trace);
+  EXPECT_FALSE(net.interrupted());
+
+  RunOutcome outcome;
+  outcome.policy = policy->name();
+  outcome.trace = trace.name();
+  outcome.metrics = net.metrics();
+  outcome.epoch_log = net.epoch_log();
+  return outcome;
+}
+
+using CkptParam = std::tuple<PolicyKind, bool /*legacy*/, bool /*faults*/>;
+
+class CheckpointResumeTest : public ::testing::TestWithParam<CkptParam> {};
+
+TEST_P(CheckpointResumeTest, ResumeIsBitIdentical) {
+  const auto [kind, legacy, faults] = GetParam();
+  const SimSetup setup = small_setup(legacy, faults);
+  const Trace trace = make_benchmark_trace(setup, "fft", kCompressedFactor);
+  const RunOutcome full = run_uninterrupted(setup, kind, trace);
+  // Two interrupt points: early (mid-warmup) and late (near the drain).
+  for (std::uint64_t stop_epoch : {2u, 7u}) {
+    const RunOutcome resumed =
+        run_interrupted_then_resumed(setup, kind, trace, stop_epoch);
+    expect_metrics_identical(full.metrics, resumed.metrics);
+    expect_epoch_logs_identical(full.epoch_log, resumed.epoch_log);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, CheckpointResumeTest,
+    ::testing::Combine(::testing::ValuesIn(all_policy_kinds()),
+                       ::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<CkptParam>& info) {
+      return sanitize(policy_name(std::get<0>(info.param)) +
+                      (std::get<1>(info.param) ? "_linear" : "_indexed") +
+                      (std::get<2>(info.param) ? "_faults" : ""));
+    });
+
+// A checkpoint is kernel-neutral: save under one kernel, resume under the
+// other, still bit-identical to the uninterrupted run.
+TEST(CheckpointCrossKernel, LinearCheckpointResumesUnderIndexed) {
+  for (PolicyKind kind :
+       {PolicyKind::kBaseline, PolicyKind::kPowerGate, PolicyKind::kDozzNoc}) {
+    const SimSetup setup = small_setup(/*legacy_kernel=*/true,
+                                       /*faults_armed=*/false);
+    const Trace trace = make_benchmark_trace(setup, "fft", kCompressedFactor);
+    const RunOutcome full = run_uninterrupted(setup, kind, trace);
+    const RunOutcome resumed = run_interrupted_then_resumed(
+        setup, kind, trace, /*stop_epoch=*/4,
+        /*resume_with_other_kernel=*/true);
+    expect_metrics_identical(full.metrics, resumed.metrics);
+    expect_epoch_logs_identical(full.epoch_log, resumed.epoch_log);
+  }
+}
+
+// The file layer (framing + atomic write) round-trips through disk via the
+// supervised runner: interrupt with the stop flag, then resume from the
+// file, comparing against the uninterrupted run.
+TEST(CheckpointFile, ControlledStopAndResumeRoundTripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "dozz_ckpt_roundtrip.ckpt";
+  const SimSetup setup = small_setup(/*legacy_kernel=*/false,
+                                     /*faults_armed=*/true);
+  const Trace trace = make_benchmark_trace(setup, "fft", kCompressedFactor);
+  const int routers = setup.make_topology().num_routers();
+
+  auto full_policy = make_policy(PolicyKind::kDozzNoc, routers,
+                                 weights_for(PolicyKind::kDozzNoc));
+  const RunOutcome full = run_simulation(setup, *full_policy, trace);
+
+  std::atomic<bool> stop{true};  // stop at the very first epoch boundary
+  RunControl control;
+  control.checkpoint_path = path;
+  control.stop = &stop;
+  auto policy1 = make_policy(PolicyKind::kDozzNoc, routers,
+                             weights_for(PolicyKind::kDozzNoc));
+  const RunOutcome partial = run_simulation_controlled(
+      setup, *policy1, trace, PowerModel(), control);
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.checkpoints_written, 1u);
+
+  RunControl resume_control;
+  resume_control.checkpoint_path = path;
+  resume_control.resume = true;
+  auto policy2 = make_policy(PolicyKind::kDozzNoc, routers,
+                             weights_for(PolicyKind::kDozzNoc));
+  const RunOutcome resumed = run_simulation_controlled(
+      setup, *policy2, trace, PowerModel(), resume_control);
+  EXPECT_FALSE(resumed.interrupted);
+  expect_metrics_identical(full.metrics, resumed.metrics);
+  std::remove(path.c_str());
+}
+
+// Restoring into a network whose configuration differs from the
+// checkpointed one must fail with a typed, descriptive error — never
+// silently produce a half-restored network.
+TEST(CheckpointValidation, ConfigMismatchThrowsCheckpointError) {
+  const SimSetup setup = small_setup(/*legacy_kernel=*/false,
+                                     /*faults_armed=*/false);
+  const Trace trace = make_benchmark_trace(setup, "fft", kCompressedFactor);
+  const Topology topo = setup.make_topology();
+  const int routers = topo.num_routers();
+
+  CkptWriter w;
+  {
+    auto policy = make_policy(PolicyKind::kPowerGate, routers, std::nullopt);
+    SimoLdoRegulator regulator;
+    const PowerModel power;
+    Network net(topo, setup.noc, *policy, power, regulator);
+    net.set_epoch_hook([&w](Network& n, Tick, std::uint64_t epochs) {
+      if (epochs < 2) return true;
+      n.save_checkpoint(w);
+      return false;
+    });
+    drive(net, setup, trace);
+  }
+  const auto& payload = w.bytes();
+
+  auto expect_restore_failure = [&](const NocConfig& config,
+                                    PowerController& policy,
+                                    const std::string& needle) {
+    SimoLdoRegulator regulator;
+    const PowerModel power;
+    Network net(topo, config, policy, power, regulator);
+    CkptReader r(payload.data(), payload.size(), "<memory>");
+    try {
+      net.restore_checkpoint(r);
+      FAIL() << "expected CheckpointError containing \"" << needle << "\"";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  {
+    NocConfig bad = setup.noc;
+    bad.epoch_cycles = 1000;
+    auto policy = make_policy(PolicyKind::kPowerGate, routers, std::nullopt);
+    expect_restore_failure(bad, *policy, "epoch length mismatch");
+  }
+  {
+    NocConfig bad = setup.noc;
+    bad.buffer_depth_flits += 2;
+    auto policy = make_policy(PolicyKind::kPowerGate, routers, std::nullopt);
+    expect_restore_failure(bad, *policy, "buffer depth mismatch");
+  }
+  {
+    auto policy = make_policy(PolicyKind::kBaseline, routers, std::nullopt);
+    expect_restore_failure(setup.noc, *policy, "policy mismatch");
+  }
+  {
+    NocConfig bad = setup.noc;
+    bad.faults.enabled = true;
+    auto policy = make_policy(PolicyKind::kPowerGate, routers, std::nullopt);
+    expect_restore_failure(bad, *policy, "fault-injection setting mismatch");
+  }
+}
+
+// Resuming against a different trace (or run horizon) is refused: the
+// checkpoint names the trace it was taken against.
+TEST(CheckpointValidation, TraceMismatchOnResumeThrows) {
+  const std::string path = ::testing::TempDir() + "dozz_ckpt_trace.ckpt";
+  const SimSetup setup = small_setup(/*legacy_kernel=*/false,
+                                     /*faults_armed=*/false);
+  const Trace trace = make_benchmark_trace(setup, "fft", kCompressedFactor);
+  const int routers = setup.make_topology().num_routers();
+
+  std::atomic<bool> stop{true};
+  RunControl control;
+  control.checkpoint_path = path;
+  control.stop = &stop;
+  auto policy1 = make_policy(PolicyKind::kPowerGate, routers, std::nullopt);
+  const RunOutcome partial = run_simulation_controlled(
+      setup, *policy1, trace, PowerModel(), control);
+  ASSERT_TRUE(partial.interrupted);
+
+  RunControl resume_control;
+  resume_control.checkpoint_path = path;
+  resume_control.resume = true;
+  const Trace other =
+      make_benchmark_trace(setup, "blackscholes", kCompressedFactor);
+  auto policy2 = make_policy(PolicyKind::kPowerGate, routers, std::nullopt);
+  try {
+    run_simulation_controlled(setup, *policy2, other, PowerModel(),
+                              resume_control);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("trace mismatch"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// --- Sweep manifest --------------------------------------------------------
+
+TEST(SweepManifest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "dozz_manifest.jsonl";
+  SweepManifest manifest;
+  JobRecord a;
+  a.key = "dozznoc|fft|0.25|policy";
+  a.label = "fft/compressed";
+  a.status = "done";
+  a.attempts = 2;
+  a.error = "transient \"stall\"\nrecovered";
+  a.checkpoint = "ckpts/dozznoc_fft.ckpt";
+  a.report_json = "{\"policy\":\"dozznoc\"}";
+  manifest.jobs.push_back(a);
+  JobRecord b;
+  b.key = "baseline|fft|1|policy";
+  b.status = "pending";
+  manifest.jobs.push_back(b);
+
+  save_manifest_file(manifest, path);
+  const SweepManifest loaded = load_manifest_file(path);
+  ASSERT_EQ(loaded.jobs.size(), 2u);
+  EXPECT_EQ(loaded.jobs[0].key, a.key);
+  EXPECT_EQ(loaded.jobs[0].label, a.label);
+  EXPECT_EQ(loaded.jobs[0].status, a.status);
+  EXPECT_EQ(loaded.jobs[0].attempts, a.attempts);
+  EXPECT_EQ(loaded.jobs[0].error, a.error);
+  EXPECT_EQ(loaded.jobs[0].checkpoint, a.checkpoint);
+  EXPECT_EQ(loaded.jobs[0].report_json, a.report_json);
+  EXPECT_EQ(loaded.jobs[1].key, b.key);
+  EXPECT_EQ(loaded.jobs[1].status, "pending");
+  EXPECT_EQ(loaded.find("baseline|fft|1|policy"), 1);
+  EXPECT_EQ(loaded.find("missing"), -1);
+  std::remove(path.c_str());
+}
+
+// --- Supervised batch ------------------------------------------------------
+
+SimSetup batch_setup() {
+  SimSetup setup;
+  setup.duration_cycles = 3000;
+  setup.run_to_drain = true;
+  setup.noc.epoch_cycles = 500;
+  return setup;
+}
+
+std::vector<BatchJob> two_jobs() {
+  std::vector<BatchJob> jobs;
+  for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kPowerGate}) {
+    BatchJob job;
+    job.kind = kind;
+    job.benchmark = "fft";
+    job.compression = kCompressedFactor;
+    job.label = "fft/compressed";
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+TEST(SupervisedBatch, ResumeSkipsDoneJobsAndKeepsReports) {
+  const std::string manifest_path =
+      ::testing::TempDir() + "dozz_batch_manifest.jsonl";
+  const SimSetup setup = batch_setup();
+  const std::vector<BatchJob> jobs = two_jobs();
+
+  BatchOptions options;
+  options.threads = 2;
+  options.manifest_path = manifest_path;
+  const BatchResult first = run_batch_supervised(setup, jobs, options);
+  EXPECT_EQ(first.completed, 2);
+  EXPECT_EQ(first.failed, 0);
+  EXPECT_EQ(first.skipped, 0);
+  EXPECT_EQ(first.suppressed_exceptions, 0u);
+  ASSERT_EQ(first.manifest.jobs.size(), 2u);
+  for (const JobRecord& record : first.manifest.jobs) {
+    EXPECT_EQ(record.status, "done");
+    EXPECT_EQ(record.attempts, 1);
+    EXPECT_FALSE(record.report_json.empty());
+  }
+
+  options.resume = true;
+  const BatchResult second = run_batch_supervised(setup, jobs, options);
+  EXPECT_EQ(second.completed, 0);
+  EXPECT_EQ(second.skipped, 2);
+  ASSERT_EQ(second.manifest.jobs.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(second.manifest.jobs[i].status, "done");
+    // The stored report line is reused verbatim — the "same aggregate
+    // table" half of the resume contract.
+    EXPECT_EQ(second.manifest.jobs[i].report_json,
+              first.manifest.jobs[i].report_json);
+  }
+  std::remove(manifest_path.c_str());
+}
+
+TEST(SupervisedBatch, ManifestFromDifferentSweepIsRejected) {
+  const std::string manifest_path =
+      ::testing::TempDir() + "dozz_batch_mismatch.jsonl";
+  const SimSetup setup = batch_setup();
+
+  BatchOptions options;
+  options.threads = 1;
+  options.manifest_path = manifest_path;
+  run_batch_supervised(setup, two_jobs(), options);
+
+  std::vector<BatchJob> other = two_jobs();
+  other[1].kind = PolicyKind::kBaseline;
+  other[1].reactive_twin = true;
+  options.resume = true;
+  EXPECT_THROW(run_batch_supervised(setup, other, options), CheckpointError);
+  std::remove(manifest_path.c_str());
+}
+
+TEST(SupervisedBatch, TimeoutRetriesThenFails) {
+  const std::string manifest_path =
+      ::testing::TempDir() + "dozz_batch_timeout.jsonl";
+  const SimSetup setup = batch_setup();
+  std::vector<BatchJob> jobs = two_jobs();
+  jobs.resize(1);
+
+  BatchOptions options;
+  options.threads = 1;
+  options.manifest_path = manifest_path;
+  options.job_timeout_s = 1e-9;  // expires at the first epoch boundary
+  options.max_retries = 1;
+  options.retry_backoff_s = 0.0;
+  const BatchResult result = run_batch_supervised(setup, jobs, options);
+  EXPECT_EQ(result.completed, 0);
+  EXPECT_EQ(result.failed, 1);
+  EXPECT_EQ(result.retried, 1);
+  ASSERT_EQ(result.manifest.jobs.size(), 1u);
+  EXPECT_EQ(result.manifest.jobs[0].status, "failed");
+  EXPECT_EQ(result.manifest.jobs[0].attempts, 2);
+  EXPECT_NE(result.manifest.jobs[0].error.find("timeout"), std::string::npos)
+      << result.manifest.jobs[0].error;
+  std::remove(manifest_path.c_str());
+}
+
+TEST(SupervisedBatch, PresetStopFlagLeavesJobsPending) {
+  const SimSetup setup = batch_setup();
+  std::atomic<bool> stop{true};
+  BatchOptions options;
+  options.threads = 1;
+  options.stop = &stop;
+  const BatchResult result = run_batch_supervised(setup, two_jobs(), options);
+  EXPECT_TRUE(result.stopped);
+  EXPECT_EQ(result.completed, 0);
+  EXPECT_EQ(result.failed, 0);
+  for (const JobRecord& record : result.manifest.jobs)
+    EXPECT_NE(record.status, "done");
+}
+
+}  // namespace
+}  // namespace dozz

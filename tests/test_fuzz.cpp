@@ -4,6 +4,12 @@
 // act as the oracle; this test exists to drive them through odd corners.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/ckpt/checkpoint.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/policies.hpp"
 #include "src/noc/network.hpp"
@@ -83,6 +89,231 @@ TEST_P(FuzzTest, RandomConfigurationHoldsInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+// --- Checkpoint and manifest corruption -----------------------------------
+// A corrupted or truncated file must always surface as a CheckpointError
+// that names the offending path — never a crash, hang, or silent partial
+// restore.
+
+std::vector<unsigned char> read_raw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void write_raw(const std::string& path,
+               const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  EXPECT_TRUE(out.good()) << path;
+}
+
+class CheckpointFuzz : public ::testing::Test {
+ protected:
+  // One real mid-run checkpoint, shared by every corruption below.
+  static void SetUpTestSuite() {
+    path_ = new std::string(::testing::TempDir() + "fuzz_ckpt.bin");
+    const Topology topo = make_mesh(4, 4);
+    NocConfig config;
+    config.epoch_cycles = 200;
+    const Trace trace = generate_synthetic_trace(
+        topo, pattern_by_name("uniform", topo), 0.01, 1200, 0xF5A1);
+    auto policy =
+        make_policy(PolicyKind::kPowerGate, topo.num_routers(), std::nullopt);
+    PowerModel power;
+    SimoLdoRegulator regulator;
+    Network net(topo, config, *policy, power, regulator);
+    net.set_epoch_hook([](Network& n, Tick, std::uint64_t epochs) {
+      if (epochs < 1) return true;
+      save_checkpoint_file(n, *path_);
+      return false;
+    });
+    net.run_until_drained(trace, 80000 * kBaselinePeriodTicks);
+    ASSERT_TRUE(net.interrupted());
+    bytes_ = new std::vector<unsigned char>(read_raw(*path_));
+    ASSERT_GT(bytes_->size(), 24u);  // framing header + payload
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete path_;
+    delete bytes_;
+  }
+
+  // Writes `bytes` to a scratch path and expects the framing validator to
+  // reject it with a CheckpointError that names the file.
+  void expect_rejected(const std::vector<unsigned char>& bytes,
+                       const std::string& what) {
+    const std::string scratch =
+        ::testing::TempDir() + "fuzz_ckpt_corrupt.bin";
+    write_raw(scratch, bytes);
+    try {
+      read_checkpoint_payload(scratch);
+      FAIL() << "accepted corrupt checkpoint: " << what;
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find(scratch), std::string::npos)
+          << "error does not name the path (" << what << "): " << e.what();
+    }
+    std::remove(scratch.c_str());
+  }
+
+  static std::string* path_;
+  static std::vector<unsigned char>* bytes_;
+};
+
+std::string* CheckpointFuzz::path_ = nullptr;
+std::vector<unsigned char>* CheckpointFuzz::bytes_ = nullptr;
+
+TEST_F(CheckpointFuzz, IntactFileRoundTrips) {
+  EXPECT_FALSE(read_checkpoint_payload(*path_).empty());
+}
+
+TEST_F(CheckpointFuzz, MissingFileThrowsTypedError) {
+  const std::string missing = ::testing::TempDir() + "no_such_ckpt.bin";
+  try {
+    read_checkpoint_payload(missing);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos);
+  }
+}
+
+TEST_F(CheckpointFuzz, TruncationAtEveryBoundaryIsRejected) {
+  // Header boundaries, plus cuts through the payload: every prefix of a
+  // valid checkpoint is an invalid checkpoint.
+  const std::size_t cuts[] = {0u,  1u,  7u,  8u,  11u, 12u,
+                              19u, 20u, 23u, 24u, bytes_->size() / 2,
+                              bytes_->size() - 1};
+  for (const std::size_t cut : cuts) {
+    ASSERT_LT(cut, bytes_->size());
+    std::vector<unsigned char> clipped(bytes_->begin(),
+                                       bytes_->begin() +
+                                           static_cast<std::ptrdiff_t>(cut));
+    expect_rejected(clipped, "truncated to " + std::to_string(cut));
+  }
+}
+
+TEST_F(CheckpointFuzz, SingleBitFlipsAreRejectedEverywhere) {
+  // Flip one bit anywhere — magic, version, size, CRC or payload — and the
+  // loader must refuse. Sampled across the file; the CRC guards the tail.
+  Rng rng(0xB17F11B5);
+  for (int trial = 0; trial < 48; ++trial) {
+    std::vector<unsigned char> mutated = *bytes_;
+    const std::size_t byte = trial < 24
+                                 ? static_cast<std::size_t>(trial)
+                                 : rng.next_below(mutated.size());
+    mutated[byte] ^= static_cast<unsigned char>(1u << rng.next_below(8));
+    expect_rejected(mutated, "bit flip at byte " + std::to_string(byte));
+  }
+}
+
+TEST_F(CheckpointFuzz, VersionMismatchNamesTheVersion) {
+  std::vector<unsigned char> mutated = *bytes_;
+  mutated[8] = 0x7F;  // u32 version little-endian low byte, after the magic
+  const std::string scratch = ::testing::TempDir() + "fuzz_ckpt_version.bin";
+  write_raw(scratch, mutated);
+  try {
+    read_checkpoint_payload(scratch);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+  std::remove(scratch.c_str());
+}
+
+TEST_F(CheckpointFuzz, TrailingGarbageIsRejected) {
+  std::vector<unsigned char> padded = *bytes_;
+  padded.insert(padded.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+  expect_rejected(padded, "4 trailing bytes");
+}
+
+// --- Manifest corruption ---------------------------------------------------
+
+SweepManifest tiny_manifest() {
+  SweepManifest m;
+  JobRecord a;
+  a.key = "DozzNoC|fft|0.55|policy";
+  a.label = "fft/compressed";
+  a.status = "done";
+  a.attempts = 1;
+  a.report_json = "{\"policy\":\"DozzNoC\"}";
+  JobRecord b;
+  b.key = "Baseline|lu|1|policy";
+  b.label = "lu/uncompressed";
+  b.status = "running";
+  b.attempts = 2;
+  b.error = "wall-clock timeout";
+  b.checkpoint = "ckpt/job1.ckpt";
+  m.jobs = {a, b};
+  return m;
+}
+
+TEST(ManifestFuzz, TruncatedManifestNamesThePath) {
+  const std::string path = ::testing::TempDir() + "fuzz_manifest.json";
+  save_manifest_file(tiny_manifest(), path);
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(text.size(), 8u);
+  // Cut mid-structure at several depths; each must be a typed failure.
+  for (const double frac : {0.2, 0.5, 0.9}) {
+    const std::string clipped =
+        text.substr(0, static_cast<std::size_t>(
+                           static_cast<double>(text.size()) * frac));
+    std::ofstream out(path, std::ios::trunc);
+    out << clipped;
+    out.close();
+    try {
+      load_manifest_file(path);
+      FAIL() << "accepted a manifest truncated to " << clipped.size()
+             << " bytes";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << e.what();
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ManifestFuzz, MutatedManifestNeverLoadsSilently) {
+  const std::string path = ::testing::TempDir() + "fuzz_manifest_mut.json";
+  save_manifest_file(tiny_manifest(), path);
+  const std::vector<unsigned char> original = read_raw(path);
+  Rng rng(0x4A50);
+  int rejected = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<unsigned char> mutated = original;
+    // Structural damage: replace a byte with a brace, quote, or NUL.
+    const unsigned char repl[] = {'{', '}', '"', ',', 0, 0xFF};
+    mutated[rng.next_below(mutated.size())] = repl[rng.next_below(6)];
+    write_raw(path, mutated);
+    try {
+      const SweepManifest m = load_manifest_file(path);
+      // Some mutations only touch free text (a label, an error message) and
+      // still parse; those must at least keep the job count.
+      EXPECT_EQ(m.jobs.size(), 2u);
+    } catch (const CheckpointError& e) {
+      ++rejected;
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << e.what();
+    }
+  }
+  // The mutation space is dominated by structural damage; most trials must
+  // land in the typed-rejection path.
+  EXPECT_GT(rejected, 16);
+  std::remove(path.c_str());
+}
+
+TEST(ManifestFuzz, GarbageFileIsRejected) {
+  const std::string path = ::testing::TempDir() + "fuzz_manifest_junk.json";
+  std::ofstream(path) << "not json at all\n\x01\x02\x03";
+  EXPECT_THROW(load_manifest_file(path), CheckpointError);
+  std::remove(path.c_str());
+}
 
 }  // namespace
 }  // namespace dozz
