@@ -3,7 +3,7 @@
 //
 //   dozznoc_sim [options]
 //     --topology mesh|cmesh|torus          (default mesh: 8x8, 64 cores)
-//     --policy baseline|pg|lead|dozznoc|turbo|reactive|oracle|vfi
+//     --policy baseline|pg|lead|dozznoc|turbo|reactive|oracle|vfi|parking
 //     --benchmark <name>             (one of the 14 built-in generators)
 //     --fullsystem <name>            (fs-memheavy|fs-balanced|fs-compute)
 //     --trace <file>                 (load a saved trace instead)
@@ -12,7 +12,11 @@
 //     --epoch <n>                    (DVFS window, default 500)
 //     --tidle <n>                    (gating threshold, default 4)
 //     --vcs <n> --depth <n>          (router buffering)
-//     --routing xy|yx
+//     --routing xy|yx|torus-xy       (default: the topology's default;
+//                                     torus requires torus-xy)
+//     --list-policies                (print the policy registry and exit;
+//     --list-topologies               likewise for topologies and
+//     --list-traffic                  workloads)
 //     --weights <file>               (trained weights for ML policies;
 //                                     trained on the fly if omitted)
 //     --baseline                     (also run the always-on baseline and
@@ -53,14 +57,12 @@
 #include <string>
 
 #include "src/common/error.hpp"
-#include "src/core/baselines.hpp"
 #include "src/sim/config_file.hpp"
 #include "src/sim/model_store.hpp"
 #include "src/sim/oracle.hpp"
+#include "src/sim/registries.hpp"
 #include "src/sim/report.hpp"
 #include "src/sim/runner.hpp"
-#include "src/trafficgen/benchmarks.hpp"
-#include "src/trafficgen/fullsystem.hpp"
 
 namespace {
 
@@ -83,7 +85,7 @@ struct Options {
   int tidle = 4;
   int vcs = 2;
   int depth = 4;
-  std::string routing = "xy";
+  std::string routing;  ///< empty = the topology's default algorithm.
   bool with_baseline = false;
   bool json = false;
   double fault_link = 0.0;
@@ -99,17 +101,27 @@ struct Options {
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(stderr,
-               "usage: dozznoc_sim [--topology mesh|cmesh|torus] "
-               "[--policy baseline|pg|lead|dozznoc|turbo|reactive|oracle|vfi]\n"
+               "usage: dozznoc_sim [--topology <name>] [--policy <name>]\n"
                "  [--benchmark <name> | --fullsystem <name> | --trace <file>]\n"
                "  [--compress f] [--cycles n] [--epoch n] [--tidle n]\n"
-               "  [--vcs n] [--depth n] [--routing xy|yx] [--weights file]\n"
-               "  [--baseline] [--json] [--config file]\n"
+               "  [--vcs n] [--depth n] [--routing xy|yx|torus-xy]\n"
+               "  [--weights file] [--baseline] [--json] [--config file]\n"
                "  [--fault-link rate] [--fault-wake rate] [--fault-reg rate]\n"
                "  [--fault-seed n] [--watchdog epochs]\n"
                "  [--checkpoint file] [--checkpoint-interval epochs]\n"
-               "  [--resume] [--timeout seconds]\n");
+               "  [--resume] [--timeout seconds]\n"
+               "  [--list-policies | --list-topologies | --list-traffic]\n");
   std::exit(2);
+}
+
+/// Prints a registry's entries (name + description) and exits; the names
+/// come from the same registries the --policy/--topology/--benchmark flags
+/// resolve against, so this listing can never go stale.
+template <typename Entry>
+[[noreturn]] void list_and_exit(const Registry<Entry>& reg) {
+  for (const auto& [name, entry] : reg)
+    std::printf("%-12s %s\n", name.c_str(), entry.description.c_str());
+  std::exit(0);
 }
 
 /// Applies a key = value experiment config file (see sim/config_file.hpp);
@@ -175,6 +187,9 @@ Options parse(int argc, char** argv) {
       opt.checkpoint_interval = std::strtoull(need(i), nullptr, 10);
     else if (a == "--resume") opt.resume = true;
     else if (a == "--timeout") opt.timeout_s = std::strtod(need(i), nullptr);
+    else if (a == "--list-policies") list_and_exit(policy_registry());
+    else if (a == "--list-topologies") list_and_exit(topology_registry());
+    else if (a == "--list-traffic") list_and_exit(traffic_registry());
     else usage_and_exit();
   }
   if ((opt.checkpoint_interval > 0 || opt.resume) &&
@@ -186,15 +201,6 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-std::optional<PolicyKind> policy_kind_of(const std::string& name) {
-  if (name == "baseline") return PolicyKind::kBaseline;
-  if (name == "pg") return PolicyKind::kPowerGate;
-  if (name == "lead") return PolicyKind::kLeadTau;
-  if (name == "dozznoc") return PolicyKind::kDozzNoc;
-  if (name == "turbo") return PolicyKind::kMlTurbo;
-  return std::nullopt;  // reactive / oracle / vfi handled separately
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -203,19 +209,16 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_stop_signal);
   try {
     SimSetup setup;
-    setup.cmesh = (opt.topology == "cmesh");
-    setup.torus = (opt.topology == "torus");
-    if (setup.torus) setup.noc.vc_classes = 2;  // dateline deadlock rule
-    if (!setup.cmesh && !setup.torus && opt.topology != "mesh")
-      usage_and_exit();
+    setup.topology = opt.topology;  // resolved via the topology registry
     setup.duration_cycles = opt.cycles;
     setup.run_to_drain = true;
     setup.noc.epoch_cycles = opt.epoch;
     setup.noc.t_idle_cycles = opt.tidle;
     setup.noc.vcs_per_port = opt.vcs;
     setup.noc.buffer_depth_flits = opt.depth;
-    if (opt.routing == "yx") setup.noc.routing = RoutingAlgorithm::kYX;
-    else if (opt.routing != "xy") usage_and_exit();
+    // Applies the topology's routing default / VC-class rules and validates
+    // an explicit --routing flag (torus rejects non-wrap-aware algorithms).
+    configure_topology(opt.topology, opt.routing, &setup.noc);
 
     // --- Fault injection (any nonzero rate switches the layer on) ---
     if (opt.fault_link > 0.0 || opt.fault_wake > 0.0 || opt.fault_reg > 0.0) {
@@ -235,12 +238,10 @@ int main(int argc, char** argv) {
     if (!opt.trace_file.empty()) {
       trace = Trace::load_file(opt.trace_file);
       if (opt.compress != 1.0) trace = trace.compressed(opt.compress);
-    } else if (!opt.fullsystem.empty()) {
-      trace = generate_fullsystem_trace(fullsystem_profile(opt.fullsystem),
-                                        topo, opt.cycles);
-      if (opt.compress != 1.0) trace = trace.compressed(opt.compress);
     } else {
-      trace = make_benchmark_trace(setup, opt.benchmark, opt.compress);
+      const std::string& workload =
+          opt.fullsystem.empty() ? opt.benchmark : opt.fullsystem;
+      trace = traffic_registry().at(workload).make(setup, opt.compress);
     }
     if (!opt.json)
       std::printf("workload '%s': %zu packets over %.1f us on %s\n",
@@ -256,31 +257,8 @@ int main(int argc, char** argv) {
     control.timeout_s = opt.timeout_s;
 
     RunOutcome outcome;
-    const int routers = topo.num_routers();
-    if (const auto kind = policy_kind_of(opt.policy)) {
-      std::optional<WeightVector> weights;
-      if (policy_uses_ml(*kind)) {
-        if (!opt.weights_file.empty()) {
-          weights = WeightVector::load_file(opt.weights_file);
-        } else {
-          if (!opt.json)
-            std::printf("training %s (cached under %s)...\n",
-                        policy_name(*kind).c_str(),
-                        model_cache_dir().c_str());
-          TrainingOptions train_opts;
-          train_opts.gather_cycles = std::min<std::uint64_t>(opt.cycles,
-                                                             16000);
-          weights = load_or_train(*kind, setup, train_opts);
-        }
-      }
-      auto policy = make_policy(*kind, routers, weights);
-      outcome = run_simulation_controlled(setup, *policy, trace, PowerModel(),
-                                          control);
-    } else if (opt.policy == "reactive") {
-      auto policy = make_reactive_twin(PolicyKind::kDozzNoc, routers);
-      outcome = run_simulation_controlled(setup, *policy, trace, PowerModel(),
-                                          control);
-    } else if (opt.policy == "oracle") {
+    const PolicySpec& spec = policy_registry().at(opt.policy);
+    if (spec.two_pass_oracle) {
       // The oracle runs a recording pre-pass plus a replay run; neither is
       // a single resumable network run, so checkpoint knobs don't apply.
       if (!opt.checkpoint_file.empty()) {
@@ -290,12 +268,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       outcome = run_oracle(setup, trace, /*gating=*/true);
-    } else if (opt.policy == "vfi") {
-      GlobalDvfsPolicy policy(/*gating=*/true);
-      outcome = run_simulation_controlled(setup, policy, trace, PowerModel(),
-                                          control);
     } else {
-      usage_and_exit();
+      PolicyParams params;
+      params.num_routers = topo.num_routers();
+      if (spec.uses_ml) {
+        if (!opt.weights_file.empty()) {
+          params.weights = WeightVector::load_file(opt.weights_file);
+        } else {
+          if (!opt.json)
+            std::printf("training %s (cached under %s)...\n",
+                        policy_name(*spec.kind).c_str(),
+                        model_cache_dir().c_str());
+          TrainingOptions train_opts;
+          train_opts.gather_cycles = std::min<std::uint64_t>(opt.cycles,
+                                                             16000);
+          params.weights = load_or_train(*spec.kind, setup, train_opts);
+        }
+      }
+      auto policy = spec.make(params);
+      outcome = run_simulation_controlled(setup, *policy, trace, PowerModel(),
+                                          control);
     }
 
     // --- Report ---

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/common/table.hpp"
+#include "src/sim/registries.hpp"
 #include "src/sim/runner.hpp"
 #include "src/sim/training.hpp"
 #include "src/trafficgen/benchmarks.hpp"
@@ -33,9 +34,13 @@ int main(int argc, char** argv) {
   TextTable table({"model", "throughput (fl/ns)", "latency (ns)",
                    "static vs base", "dynamic vs base", "off time",
                    "mode switches"});
-  for (PolicyKind kind : all_policy_kinds()) {
+  // The paper's five models, from the policy registry in registration
+  // (presentation) order.
+  for (const auto& [name, spec] : policy_registry()) {
+    if (!spec.paper_model) continue;
+    const PolicyKind kind = *spec.kind;
     std::optional<WeightVector> weights;
-    if (policy_uses_ml(kind)) {
+    if (spec.uses_ml) {
       std::printf("training %s model...\n", policy_name(kind).c_str());
       weights = train_policy_model(kind, setup, opts).weights;
     }

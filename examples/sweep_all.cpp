@@ -7,6 +7,7 @@
 // identical at any thread count.
 //
 //   sweep_all [options] > results.jsonl
+//     --topology <name>           (mesh|cmesh|torus; default mesh)
 //     --manifest <file>           (persist sweep state; enables --resume)
 //     --resume                    (skip jobs the manifest records as done,
 //                                  continue interrupted ones)
@@ -28,13 +29,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/sim/batch.hpp"
 #include "src/sim/model_store.hpp"
+#include "src/sim/registries.hpp"
 #include "src/sim/report.hpp"
 #include "src/sim/runner.hpp"
 #include "src/sim/setup.hpp"
@@ -48,7 +49,8 @@ extern "C" void handle_stop_signal(int) { g_stop.store(true); }
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(stderr,
-               "usage: sweep_all [--manifest file] [--resume]\n"
+               "usage: sweep_all [--topology name] [--manifest file] "
+               "[--resume]\n"
                "  [--checkpoint-dir dir] [--checkpoint-interval epochs]\n"
                "  [--timeout seconds] [--retries n] [--backoff seconds]\n"
                "  [--threads n]\n");
@@ -61,13 +63,15 @@ int main(int argc, char** argv) {
   using namespace dozz;
 
   BatchOptions batch;
+  std::string topology = "mesh";
   auto need = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage_and_exit();
     return argv[++i];
   };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--manifest") batch.manifest_path = need(i);
+    if (a == "--topology") topology = need(i);
+    else if (a == "--manifest") batch.manifest_path = need(i);
     else if (a == "--resume") batch.resume = true;
     else if (a == "--checkpoint-dir") batch.checkpoint_dir = need(i);
     else if (a == "--checkpoint-interval")
@@ -90,32 +94,45 @@ int main(int argc, char** argv) {
 
   try {
     SimSetup setup;
+    setup.topology = topology;
+    configure_topology(topology, /*routing_flag=*/"", &setup.noc);
     setup.duration_cycles = scaled_cycles(12000);
     setup.run_to_drain = true;
 
     TrainingOptions opts;
     opts.gather_cycles = setup.duration_cycles;
 
-    std::map<PolicyKind, std::optional<WeightVector>> models;
-    models[PolicyKind::kBaseline] = std::nullopt;
-    models[PolicyKind::kPowerGate] = std::nullopt;
-    for (PolicyKind kind :
-         {PolicyKind::kLeadTau, PolicyKind::kDozzNoc, PolicyKind::kMlTurbo}) {
-      std::fprintf(stderr, "training %s...\n", policy_name(kind).c_str());
-      models[kind] = load_or_train(kind, setup, opts);
-      if (g_stop.load()) {
-        std::fprintf(stderr, "sweep: stopped during training\n");
-        return 3;
+    // The paper's five models, enumerated from the policy registry in
+    // registration order — this order fixes training, the job list, and
+    // therefore the JSON-lines output order.
+    struct PaperModel {
+      PolicyKind kind;
+      std::optional<WeightVector> weights;
+    };
+    std::vector<PaperModel> models;
+    for (const auto& [name, spec] : policy_registry()) {
+      if (!spec.paper_model) continue;
+      PaperModel model;
+      model.kind = *spec.kind;
+      if (spec.uses_ml) {
+        std::fprintf(stderr, "training %s...\n",
+                     policy_name(model.kind).c_str());
+        model.weights = load_or_train(model.kind, setup, opts);
+        if (g_stop.load()) {
+          std::fprintf(stderr, "sweep: stopped during training\n");
+          return 3;
+        }
       }
+      models.push_back(std::move(model));
     }
 
     std::vector<BatchJob> jobs;
     for (double compression : {1.0, kCompressedFactor}) {
       for (const auto& name : test_benchmarks()) {
-        for (const auto& [kind, weights] : models) {
+        for (const PaperModel& model : models) {
           BatchJob job;
-          job.kind = kind;
-          job.weights = weights;
+          job.kind = model.kind;
+          job.weights = model.weights;
           job.benchmark = name;
           job.compression = compression;
           job.label =

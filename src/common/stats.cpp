@@ -52,7 +52,7 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::reset() {
-  std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+  zero_counters(counts_);
   underflow_ = 0;
   overflow_ = 0;
   total_ = 0;
@@ -132,6 +132,6 @@ double DenseCounter::fraction(std::size_t slot) const {
                : static_cast<double>(count(slot)) / static_cast<double>(t);
 }
 
-void DenseCounter::reset() { std::fill(counts_.begin(), counts_.end(), 0); }
+void DenseCounter::reset() { zero_counters(counts_); }
 
 }  // namespace dozz

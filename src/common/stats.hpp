@@ -1,12 +1,33 @@
 // Streaming statistics accumulators used by the simulator and benches.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace dozz {
+
+/// Zeroes every element of one or more counter containers in place,
+/// keeping sizes and backing allocations. The one shared reset helper
+/// behind Histogram/DenseCounter resets and the routers' per-epoch
+/// counter windows.
+template <typename... Containers>
+void zero_counters(Containers&... containers) {
+  (std::fill(containers.begin(), containers.end(),
+             typename Containers::value_type{}),
+   ...);
+}
+
+/// num / den as a double with a zero-denominator guard — the shared form
+/// of every windowed-counter ratio (utilizations, idle fractions).
+/// `empty` is returned when the window accumulated nothing.
+inline double counter_ratio(std::uint64_t num, std::uint64_t den,
+                            double empty = 0.0) {
+  return den == 0 ? empty
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
 
 /// Welford-style running mean/variance with min/max tracking.
 class RunningStat {

@@ -1,0 +1,319 @@
+// The engine loop: both event kernels (legacy linear scan and indexed
+// calendar/heap), event-time selection, and the run_loop driver that wires
+// resume validation, epoch scheduling and final metrics compilation around
+// them. The per-event phases they invoke live in phases.cpp and
+// epoch_phase.cpp.
+#include <algorithm>
+
+#include "src/ckpt/state_io.hpp"
+#include "src/common/error.hpp"
+#include "src/noc/network.hpp"
+#include "src/noc/network_internal.hpp"
+
+namespace dozz {
+
+Tick Network::next_event_after(Tick trace_next) const {
+  Tick t = trace_next;
+  for (const auto& r : routers_) t = std::min(t, r.next_edge());
+  for (const auto& n : nics_) t = std::min(t, n.next_response_tick());
+  return t;
+}
+
+void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
+  DOZZ_REQUIRE(!ran_);
+  DOZZ_REQUIRE(end_tick > 0);
+  ran_ = true;
+  run_drain_ = drain;
+  run_end_tick_ = end_tick;
+  running_trace_ = &trace;
+
+  if (resumed_) {
+    // A restored run must continue the exact same workload: the checkpoint
+    // records the run parameters and a trace fingerprint; any divergence
+    // would silently break the bit-identity contract, so it is an error.
+    if (drain != expect_drain_)
+      throw CheckpointError(
+          "checkpoint resume: drain mode mismatch (checkpoint was " +
+          std::string(expect_drain_ ? "drained" : "windowed") + ")");
+    if (end_tick != expect_end_tick_)
+      throw CheckpointError(
+          "checkpoint resume: run horizon mismatch (checkpoint had end tick " +
+          std::to_string(expect_end_tick_) + ", run has " +
+          std::to_string(end_tick) + ")");
+    if (trace.size() != expect_trace_size_ ||
+        internal::trace_fingerprint(trace) != expect_trace_hash_)
+      throw CheckpointError(
+          "checkpoint resume: trace mismatch (checkpoint was taken against "
+          "trace '" +
+          expect_trace_name_ + "', " + std::to_string(expect_trace_size_) +
+          " entries)");
+  } else {
+    trace_cursor_ = 0;
+    next_epoch_ = ctx_.config.epoch_ticks();
+    last_event_ = 0;
+  }
+
+  // Long runs append one row per epoch; size the logs once up front
+  // instead of growing them through repeated reallocation.
+  const auto epochs = static_cast<std::size_t>(
+      end_tick / ctx_.config.epoch_ticks() + 1);
+  if (ctx_.config.collect_epoch_log) epoch_log_.reserve(epochs);
+  if (ctx_.config.collect_extended_log) extended_log_.reserve(epochs);
+
+  const Tick last_event = ctx_.config.legacy_linear_kernel
+                              ? run_loop_linear(trace, end_tick, drain)
+                              : run_loop_indexed(trace, end_tick, drain);
+
+  // In drain mode the run's duration is the time of the last event (the
+  // final delivery); in window mode it is the fixed horizon. An interrupted
+  // run compiles a *partial* report up to the stopping boundary — a resume
+  // restores the pre-compile checkpoint, so this accounting is discarded.
+  compile_metrics(interrupted_ || drain ? std::max<Tick>(last_event, 1)
+                                        : end_tick);
+}
+
+Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
+  const auto& entries = trace.entries();
+  // Loop-invariant policy/config lookups, hoisted out of the hot loops.
+  const bool gating = ctx_.policy->gating_enabled();
+  const bool punch = ctx_.config.lookahead_punch;
+
+  auto drained = [&]() {
+    if (trace_cursor_ < entries.size()) return false;
+    if (ctx_.metrics.packets_delivered + terminal_failures() !=
+        ctx_.metrics.packets_offered)
+      return false;
+    for (const auto& n : nics_)
+      if (n.has_backlog() || n.next_response_tick() != kInfTick) return false;
+    return true;
+  };
+
+  while (true) {
+    if (drain && drained()) break;
+    const Tick trace_next = trace_cursor_ < entries.size()
+                                ? entries[trace_cursor_].inject_tick()
+                                : kInfTick;
+    Tick t = std::min(next_event_after(trace_next), next_epoch_);
+    if (t >= end_tick) break;
+    DOZZ_ASSERT(t >= ctx_.now);
+    ctx_.now = t;
+    last_event_ = t;
+    ++kernel_events_;
+
+    // 1. Matured trace entries become pending packets at their source NI.
+    inject_matured(entries, trace_cursor_, gating, punch);
+
+    // 2. Matured responses.
+    for (auto& n : nics_) {
+      if (n.next_response_tick() > ctx_.now) continue;
+      mature_nic(n, gating, punch);
+    }
+
+    // 3. Epoch boundary: feature capture and DVFS mode selection.
+    bool at_epoch = false;
+    if (ctx_.now == next_epoch_) {
+      process_epoch(ctx_.now);
+      next_epoch_ += ctx_.config.epoch_ticks();
+      at_epoch = true;
+    }
+
+    // 4. Clock edges, in router-id order for determinism.
+    for (std::size_t i = 0; i < routers_.size(); ++i) {
+      if (routers_[i].next_edge() > ctx_.now) continue;
+      step_router(i, gating);
+    }
+
+    // Epoch hook, fired only after the boundary iteration completed its
+    // clock edges: a checkpoint taken here resumes at the *next* kernel
+    // event, so the resumed run re-counts nothing (bit-identity).
+    if (at_epoch && ctx_.epoch_hook &&
+        !ctx_.epoch_hook(*this, ctx_.now, epochs_processed_)) {
+      interrupted_ = true;
+      break;
+    }
+  }
+  return last_event_;
+}
+
+void Network::schedule_edge(RouterId r) {
+  const Tick edge = routers_[static_cast<std::size_t>(r)].next_edge();
+  if (edge < kInfTick) edge_sched_.push(edge, r);
+}
+
+Tick Network::edge_min() {
+  while (!edge_sched_.empty()) {
+    const Tick tick = edge_sched_.front_tick();
+    // One live entry proves the bucket's tick is the minimum — stop there
+    // (the due-edge collection re-validates every entry anyway). Every
+    // reschedule pushes a fresh entry, so the live minimum is always
+    // present; a mismatched entry is a stale leftover. Only a fully stale
+    // bucket costs a full scan, and it is discarded on the spot.
+    for (const RouterId id : edge_sched_.front_bucket()) {
+      const Tick edge = routers_[static_cast<std::size_t>(id)].next_edge();
+      if (edge == tick) return tick;
+      DOZZ_ASSERT(edge > tick);
+    }
+    edge_sched_.pop_front();
+  }
+  return kInfTick;
+}
+
+Tick Network::response_min() {
+  while (!response_heap_.empty()) {
+    const auto [tick, id] = response_heap_.top();
+    const Tick live = nics_[static_cast<std::size_t>(id)].next_response_tick();
+    if (live == tick) return tick;
+    DOZZ_ASSERT(live > tick);
+    response_heap_.pop();
+  }
+  return kInfTick;
+}
+
+Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
+                               bool drain) {
+  const auto& entries = trace.entries();
+  // Loop-invariant policy/config lookups, hoisted out of the hot loops.
+  const bool gating = ctx_.policy->gating_enabled();
+  const bool punch = ctx_.config.lookahead_punch;
+
+  for (std::size_t i = 0; i < routers_.size(); ++i)
+    schedule_edge(static_cast<RouterId>(i));
+
+  // Rebuild the response heap from live NIC state: the heap is derived
+  // (lazy-invalidation) and is not checkpointed. One entry at each NIC's
+  // current minimum suffices — mature_nic re-publishes after every pop and
+  // response_min() discards anything stale. A fresh run has no pending
+  // responses, so this is a no-op there.
+  for (std::size_t i = 0; i < nics_.size(); ++i) {
+    const Tick t = nics_[i].next_response_tick();
+    if (t < kInfTick) response_heap_.push({t, static_cast<RouterId>(i)});
+  }
+
+  std::vector<RouterId> due;  // sorted ids due at now
+
+  while (true) {
+    // Drain check without the per-event NIC scan: packets parked in NIC
+    // queues or in-network are offered-but-undelivered, so the only state
+    // the counters miss is responses scheduled but not yet matured.
+    if (drain && trace_cursor_ >= entries.size() && pending_responses_ == 0 &&
+        ctx_.metrics.packets_delivered + terminal_failures() ==
+            ctx_.metrics.packets_offered)
+      break;
+    const Tick trace_next = trace_cursor_ < entries.size()
+                                ? entries[trace_cursor_].inject_tick()
+                                : kInfTick;
+    const Tick t = std::min(std::min(trace_next, next_epoch_),
+                            std::min(edge_min(), response_min()));
+    if (t >= end_tick) break;
+    DOZZ_ASSERT(t >= ctx_.now);
+    ctx_.now = t;
+    last_event_ = t;
+    ++kernel_events_;
+
+    // 1. Matured trace entries become pending packets at their source NI.
+    inject_matured(entries, trace_cursor_, gating, punch);
+
+    // 2. Matured responses, in NIC-id order (matches the linear sweep).
+    if (!response_heap_.empty() && response_heap_.top().first <= ctx_.now) {
+      due.clear();
+      while (!response_heap_.empty() &&
+             response_heap_.top().first <= ctx_.now) {
+        due.push_back(response_heap_.top().second);
+        response_heap_.pop();
+      }
+      std::sort(due.begin(), due.end());
+      due.erase(std::unique(due.begin(), due.end()), due.end());
+      for (RouterId id : due) {
+        NetworkInterface& n = nics_[static_cast<std::size_t>(id)];
+        if (n.next_response_tick() > ctx_.now) continue;  // stale entry
+        mature_nic(n, gating, punch);
+        if (n.next_response_tick() < kInfTick)
+          response_heap_.push({n.next_response_tick(), id});
+      }
+    }
+
+    // 3. Epoch boundary: feature capture and DVFS mode selection.
+    // set_active_mode can pull a slow router's edge *earlier* (new period
+    // from now), so process_epoch republishes affected edges before the
+    // due-edge collection below.
+    bool at_epoch = false;
+    if (ctx_.now == next_epoch_) {
+      process_epoch(ctx_.now);
+      next_epoch_ += ctx_.config.epoch_ticks();
+      at_epoch = true;
+    }
+
+    // 4. Clock edges due now, in router-id order for determinism. The
+    // common case is a single due bucket already in id order (the sweep
+    // pushes reschedules in ascending id), so steal its storage instead of
+    // copying and only sort when a wake push actually broke the order.
+    due.clear();
+    while (!edge_sched_.empty() && edge_sched_.front_tick() <= ctx_.now) {
+      const Tick tick = edge_sched_.front_tick();
+      auto& bucket = edge_sched_.front_bucket();
+      if (due.empty()) {
+        due.swap(bucket);
+        std::size_t live = 0;
+        for (const RouterId id : due)
+          if (routers_[static_cast<std::size_t>(id)].next_edge() == tick)
+            due[live++] = id;
+        due.resize(live);
+      } else {
+        for (const RouterId id : bucket)
+          if (routers_[static_cast<std::size_t>(id)].next_edge() == tick)
+            due.push_back(id);
+      }
+      edge_sched_.pop_front();
+    }
+    if (!std::is_sorted(due.begin(), due.end()))
+      std::sort(due.begin(), due.end());
+    due.erase(std::unique(due.begin(), due.end()), due.end());
+    for (std::size_t k = 0; k < due.size(); ++k) {
+      const RouterId id = due[k];
+      if (routers_[static_cast<std::size_t>(id)].next_edge() > ctx_.now)
+        continue;  // rescheduled since collection
+      step_router(static_cast<std::size_t>(id), gating);
+      schedule_edge(id);
+      // A pipeline step can wake a neighbour with a zero-length wakeup,
+      // landing a new edge at now mid-sweep. The linear sweep visits such
+      // a router this iteration only when its id is still ahead of the
+      // cursor; an id already passed waits for the next same-tick
+      // iteration. Mirror both cases exactly: ids ahead of the cursor join
+      // this sweep; the rest stay bucketed for the next same-tick
+      // iteration.
+      if (!edge_sched_.empty() && edge_sched_.front_tick() <= ctx_.now) {
+        auto& bucket = edge_sched_.front_bucket();
+        std::size_t deferred = 0;
+        for (const RouterId late_id : bucket) {
+          if (routers_[static_cast<std::size_t>(late_id)].next_edge() !=
+              ctx_.now)
+            continue;  // stale
+          if (late_id > id) {
+            const auto it = std::lower_bound(
+                due.begin() + static_cast<std::ptrdiff_t>(k) + 1, due.end(),
+                late_id);
+            if (it == due.end() || *it != late_id) due.insert(it, late_id);
+          } else {
+            bucket[deferred++] = late_id;
+          }
+        }
+        if (deferred == 0) {
+          edge_sched_.pop_front();
+        } else {
+          bucket.resize(deferred);
+        }
+      }
+    }
+
+    // Epoch hook, after the boundary iteration's clock edges (see the
+    // linear kernel for why this placement preserves bit-identity).
+    if (at_epoch && ctx_.epoch_hook &&
+        !ctx_.epoch_hook(*this, ctx_.now, epochs_processed_)) {
+      interrupted_ = true;
+      break;
+    }
+  }
+  return last_event_;
+}
+
+}  // namespace dozz

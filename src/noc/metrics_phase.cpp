@@ -1,0 +1,63 @@
+// The final accounting phase: folds per-router energy, state-time and
+// counter totals into NetworkMetrics once a run (or partial run) ends.
+#include "src/common/log.hpp"
+#include "src/noc/network.hpp"
+
+namespace dozz {
+
+void Network::compile_metrics(Tick end_tick) {
+  NetworkMetrics& metrics = ctx_.metrics;
+  metrics.sim_ticks = end_tick;
+  double total_router_ticks = 0.0;
+  double ibu_sum = 0.0;
+  double off_ticks = 0.0;
+
+  for (auto& r : routers_) {
+    r.account_until(end_tick);
+    const EnergyAccountant& acc = r.accountant();
+    metrics.static_energy_j += acc.static_energy_j();
+    metrics.dynamic_energy_j += acc.dynamic_energy_j();
+    metrics.ml_energy_j += acc.ml_energy_j();
+    metrics.wall_static_energy_j += acc.wall_static_energy_j();
+    metrics.wall_dynamic_energy_j += acc.wall_dynamic_energy_j();
+    metrics.gatings += r.gatings();
+    metrics.wakeups += r.wakeups();
+    metrics.premature_wakeups += r.premature_wakeups();
+    metrics.mode_switches += r.mode_switches();
+
+    metrics.state_fractions[0] += static_cast<double>(acc.inactive_ticks());
+    metrics.state_fractions[1] += static_cast<double>(acc.wakeup_ticks());
+    for (int m = 0; m < kNumVfModes; ++m) {
+      metrics.state_fractions[static_cast<std::size_t>(2 + m)] +=
+          static_cast<double>(
+              r.active_mode_ticks()[static_cast<std::size_t>(m)]);
+    }
+    total_router_ticks += static_cast<double>(acc.accounted_ticks());
+    off_ticks += static_cast<double>(acc.inactive_ticks());
+    ibu_sum += r.lifetime_ibu();
+  }
+
+  if (total_router_ticks > 0) {
+    for (auto& fraction : metrics.state_fractions)
+      fraction /= total_router_ticks;
+    metrics.off_time_fraction = off_ticks / total_router_ticks;
+  }
+  if (!routers_.empty())
+    metrics.avg_ibu = ibu_sum / static_cast<double>(routers_.size());
+
+  if (ctx_.latency_hist.total() > 0) {
+    metrics.latency_p50_ns = ctx_.latency_hist.quantile(0.50);
+    metrics.latency_p95_ns = ctx_.latency_hist.quantile(0.95);
+    metrics.latency_p99_ns = ctx_.latency_hist.quantile(0.99);
+  }
+
+  if (ctx_.injector != nullptr) metrics.faults = ctx_.injector->stats();
+
+  DOZZ_LOG_INFO("run complete: policy=" << ctx_.policy->name()
+                << " delivered=" << metrics.packets_delivered << "/"
+                << metrics.packets_offered
+                << " static=" << metrics.static_energy_j
+                << "J dynamic=" << metrics.dynamic_energy_j << "J");
+}
+
+}  // namespace dozz

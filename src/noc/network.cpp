@@ -1,15 +1,13 @@
+// Network construction and the public run entry points. The per-cycle
+// machinery lives in sibling TUs: engine.cpp (event kernels), phases.cpp
+// (injection / traversal / ejection), epoch_phase.cpp (DVFS windows),
+// metrics_phase.cpp (final accounting) and network_ckpt.cpp
+// (checkpoint/restore).
 #include "src/noc/network.hpp"
 
-#include <algorithm>
 #include <cstdlib>
-#include <cstring>
-#include <sstream>
 
-#include "src/ckpt/state_io.hpp"
 #include "src/common/error.hpp"
-#include "src/common/log.hpp"
-#include "src/faults/crc.hpp"
-#include "src/noc/extended_features.hpp"
 
 namespace dozz {
 
@@ -29,170 +27,27 @@ int resolve_watchdog_epochs(const NocConfig& config) {
   return config.faults.enabled ? 64 : 0;
 }
 
-const char* state_label(RouterState s) {
-  switch (s) {
-    case RouterState::kInactive: return "inactive";
-    case RouterState::kWakeup: return "wakeup";
-    case RouterState::kActive: return "active";
-  }
-  return "?";
-}
-
-/// FNV-1a over the trace's entry fields (not raw struct bytes, which would
-/// hash padding). A resumed run validates this fingerprint so a checkpoint
-/// can never be silently continued against a different workload.
-std::uint64_t trace_fingerprint(const Trace& trace) {
-  std::uint64_t h = 1469598103934665603ULL;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xFFu;
-      h *= 1099511628211ULL;
-    }
-  };
-  for (const auto& e : trace.entries()) {
-    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.src)));
-    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.dst)));
-    mix(e.is_response ? 1 : 0);
-    std::uint64_t bits;
-    std::memcpy(&bits, &e.inject_ns, sizeof bits);
-    mix(bits);
-  }
-  return h;
-}
-
-void save_fault_stats(CkptWriter& w, const FaultStats& s) {
-  w.u64(s.flits_corrupted);
-  w.u64(s.wakes_dropped);
-  w.u64(s.wakes_refused_stuck);
-  w.u64(s.wakes_delayed);
-  w.u64(s.stuck_gatings);
-  w.u64(s.mode_switch_failures);
-  w.u64(s.droops);
-  w.u64(s.packets_corrupted);
-  w.u64(s.retransmissions);
-  w.u64(s.packets_lost);
-  w.u64(s.routers_gating_degraded);
-  w.u64(s.routers_pinned_nominal);
-}
-
-FaultStats load_fault_stats(CkptReader& r) {
-  FaultStats s;
-  s.flits_corrupted = r.u64();
-  s.wakes_dropped = r.u64();
-  s.wakes_refused_stuck = r.u64();
-  s.wakes_delayed = r.u64();
-  s.stuck_gatings = r.u64();
-  s.mode_switch_failures = r.u64();
-  s.droops = r.u64();
-  s.packets_corrupted = r.u64();
-  s.retransmissions = r.u64();
-  s.packets_lost = r.u64();
-  s.routers_gating_degraded = r.u64();
-  s.routers_pinned_nominal = r.u64();
-  return s;
-}
-
-void save_epoch_features(CkptWriter& w, const EpochFeatures& f) {
-  w.f64(f.bias);
-  w.f64(f.reqs_sent);
-  w.f64(f.reqs_received);
-  w.f64(f.total_off_kcycles);
-  w.f64(f.current_ibu);
-}
-
-EpochFeatures load_epoch_features(CkptReader& r) {
-  EpochFeatures f;
-  f.bias = r.f64();
-  f.reqs_sent = r.f64();
-  f.reqs_received = r.f64();
-  f.total_off_kcycles = r.f64();
-  f.current_ibu = r.f64();
-  return f;
-}
-
-void save_metrics(CkptWriter& w, const NetworkMetrics& m) {
-  w.u64(m.packets_offered);
-  w.u64(m.packets_delivered);
-  w.u64(m.flits_delivered);
-  w.u64(m.requests_delivered);
-  w.u64(m.responses_delivered);
-  ckpt::save_running_stat(w, m.packet_latency_ns);
-  ckpt::save_running_stat(w, m.network_latency_ns);
-  ckpt::save_running_stat(w, m.packet_hops);
-  w.u64(m.sim_ticks);
-  w.f64(m.static_energy_j);
-  w.f64(m.dynamic_energy_j);
-  w.f64(m.ml_energy_j);
-  w.f64(m.wall_static_energy_j);
-  w.f64(m.wall_dynamic_energy_j);
-  w.u64(m.gatings);
-  w.u64(m.wakeups);
-  w.u64(m.premature_wakeups);
-  w.u64(m.mode_switches);
-  w.u64(m.labels_computed);
-  for (double f : m.state_fractions) w.f64(f);
-  for (std::uint64_t c : m.epoch_mode_counts) w.u64(c);
-  w.f64(m.avg_ibu);
-  w.f64(m.off_time_fraction);
-  w.f64(m.latency_p50_ns);
-  w.f64(m.latency_p95_ns);
-  w.f64(m.latency_p99_ns);
-  save_fault_stats(w, m.faults);
-}
-
-void load_metrics(CkptReader& r, NetworkMetrics* m) {
-  m->packets_offered = r.u64();
-  m->packets_delivered = r.u64();
-  m->flits_delivered = r.u64();
-  m->requests_delivered = r.u64();
-  m->responses_delivered = r.u64();
-  ckpt::load_running_stat(r, &m->packet_latency_ns);
-  ckpt::load_running_stat(r, &m->network_latency_ns);
-  ckpt::load_running_stat(r, &m->packet_hops);
-  m->sim_ticks = r.u64();
-  m->static_energy_j = r.f64();
-  m->dynamic_energy_j = r.f64();
-  m->ml_energy_j = r.f64();
-  m->wall_static_energy_j = r.f64();
-  m->wall_dynamic_energy_j = r.f64();
-  m->gatings = r.u64();
-  m->wakeups = r.u64();
-  m->premature_wakeups = r.u64();
-  m->mode_switches = r.u64();
-  m->labels_computed = r.u64();
-  for (auto& f : m->state_fractions) f = r.f64();
-  for (auto& c : m->epoch_mode_counts) c = r.u64();
-  m->avg_ibu = r.f64();
-  m->off_time_fraction = r.f64();
-  m->latency_p50_ns = r.f64();
-  m->latency_p95_ns = r.f64();
-  m->latency_p99_ns = r.f64();
-  m->faults = load_fault_stats(r);
-}
-
 }  // namespace
 
 Network::Network(const Topology& topo, const NocConfig& config,
                  PowerController& policy, const PowerModel& power,
                  const SimoLdoRegulator& regulator)
-    : topo_(&topo), config_(config), policy_(&policy), power_(&power),
-      regulator_(&regulator), ml_overhead_(policy.label_feature_count()),
+    : ctx_(topo, config, policy, power, regulator),
       indexed_(!config.legacy_linear_kernel) {
   const int n = topo.num_routers();
   routers_.reserve(static_cast<std::size_t>(n));
   nics_.reserve(static_cast<std::size_t>(n));
   for (RouterId r = 0; r < n; ++r) {
-    routers_.emplace_back(r, topo, config_, regulator,
-                          EnergyAccountant(power, regulator, ml_overhead_),
-                          policy.initial_mode());
-    nics_.emplace_back(r, topo, config_);
+    routers_.emplace_back(r, ctx_);
+    nics_.emplace_back(r, ctx_);
   }
   snapshots_.resize(static_cast<std::size_t>(n));
-  if (config_.faults.enabled) {
-    injector_ = std::make_unique<FaultInjector>(config_.faults, regulator);
-    for (auto& r : routers_) r.set_fault_injector(injector_.get());
+  if (ctx_.config.faults.enabled) {
+    ctx_.injector =
+        std::make_unique<FaultInjector>(ctx_.config.faults, regulator);
+    for (auto& r : routers_) r.set_fault_injector(ctx_.injector.get());
   }
-  watchdog_epochs_ = resolve_watchdog_epochs(config_);
+  watchdog_epochs_ = resolve_watchdog_epochs(ctx_.config);
 }
 
 Router& Network::router(RouterId r) {
@@ -210,974 +65,12 @@ NetworkInterface& Network::nic(RouterId r) {
   return nics_[static_cast<std::size_t>(r)];
 }
 
-bool Network::downstream_can_accept(RouterId r) const {
-  return router(r).state() == RouterState::kActive;
-}
-
-void Network::secure(RouterId r, Tick now) {
-  Router& target = router(r);
-  target.mark_secured(now);
-  if (target.state() == RouterState::kInactive &&
-      policy_->gating_enabled()) {
-    target.request_wake(now);
-    if (target.state() != RouterState::kInactive) {
-      if (indexed_) schedule_edge(r);  // wake moved next_edge off kInfTick
-      if (observer_ != nullptr) observer_->on_wakeup_begin(now, r);
-    } else if (injector_ != nullptr) {
-      // The wake request was lost (dropped, or refused by a stuck power
-      // switch). The caller's secure() pokes retry on every subsequent
-      // cycle; once losses pass the threshold, stop gating this router —
-      // an unwakeable router is worse than an always-on one.
-      if (!policy_->gating_degraded(r) &&
-          target.wake_faults() >=
-              static_cast<std::uint64_t>(config_.faults.wake_loss_threshold)) {
-        policy_->degrade_gating(r);
-        ++injector_->stats().routers_gating_degraded;
-        DOZZ_LOG_INFO("fault: router " << r << " lost "
-                      << target.wake_faults()
-                      << " wake requests; gating degraded off");
-      }
-    }
-  }
-}
-
-void Network::punch_ahead(RouterId r, RouterId dst, Tick now) {
-  if (const auto nh = topo_->next_hop(r, dst, config_.routing))
-    secure(*nh, now);
-}
-
-void Network::secure_path(RouterId src, RouterId dst, Tick now) {
-  RouterId cur = src;
-  secure(cur, now);
-  while (cur != dst) {
-    const auto nh = topo_->next_hop(cur, dst, config_.routing);
-    DOZZ_ASSERT(nh.has_value());
-    cur = *nh;
-    secure(cur, now);
-  }
-}
-
-void Network::deliver(RouterId r, int port, int vc, Tick arrival,
-                      const Flit& flit) {
-  Router& target = router(r);
-  if (injector_ != nullptr) {
-    // Link fault: bit flips during this hop's link traversal. The payload
-    // is abstract, so the damage lands on the stored CRC — exactly what
-    // the end-to-end check at ejection sees either way.
-    if (const std::uint16_t mask = injector_->corrupt_link_flit()) {
-      Flit damaged = flit;
-      damaged.crc = static_cast<std::uint16_t>(damaged.crc ^ mask);
-      target.flit_in(port).push({arrival, vc, damaged});
-      target.note_inbound();
-      return;
-    }
-  }
-  target.flit_in(port).push({arrival, vc, flit});
-  target.note_inbound();
-}
-
-void Network::send_credit(RouterId upstream, int port, int vc, Tick arrival) {
-  Router& up = router(upstream);
-  up.credit_in(port).push({arrival, port, vc});
-  up.note_credit();
-}
-
-void Network::eject(RouterId r, const Flit& flit, Tick now) {
-  ++metrics_.flits_delivered;
-  if (injector_ != nullptr) {
-    // End-to-end integrity check. A corrupted body flit marks the whole
-    // packet instance; the verdict lands on the tail so the packet is
-    // accepted or rejected atomically.
-    bool corrupted = flit.crc != flit_crc(flit);
-    if (corrupted && !flit.is_tail) corrupt_partial_.insert(flit.packet_id);
-    if (flit.is_tail) {
-      const auto it = corrupt_partial_.find(flit.packet_id);
-      if (it != corrupt_partial_.end()) {
-        corrupted = true;
-        corrupt_partial_.erase(it);
-      }
-      if (corrupted) {
-        handle_corrupt_tail(flit, now);
-        return;
-      }
-    }
-  }
-  if (!flit.is_tail) return;
-
-  NetworkInterface& sink = nic(r);
-  sink.on_ejected_packet(flit);
-  if (observer_ != nullptr) observer_->on_packet_delivered(now, flit);
-  ++metrics_.packets_delivered;
-  if (flit.is_response)
-    ++metrics_.responses_delivered;
-  else
-    ++metrics_.requests_delivered;
-  const double latency_ns = ns_from_ticks(now - flit.inject_tick);
-  metrics_.packet_latency_ns.add(latency_ns);
-  latency_hist_.add(latency_ns);
-  metrics_.network_latency_ns.add(ns_from_ticks(now - flit.enter_tick));
-  metrics_.packet_hops.add(static_cast<double>(flit.hops));
-
-  if (!flit.is_response && config_.auto_response) {
-    const Tick ready = now + ticks_from_ns(config_.response_delay_ns);
-    sink.schedule_response(next_packet_id_++, flit.dst_core, flit.src_core,
-                           ready);
-    ++pending_responses_;
-    if (indexed_) response_heap_.push({ready, r});
-  }
-}
-
-void Network::handle_corrupt_tail(const Flit& tail, Tick now) {
-  FaultStats& fs = injector_->stats();
-  ++fs.packets_corrupted;
-  if (static_cast<int>(tail.retry) >= config_.faults.max_retries) {
-    ++fs.packets_lost;
-    DOZZ_LOG_INFO("fault: packet " << tail.packet_id << " lost after "
-                  << static_cast<int>(tail.retry) << " retries");
-    return;
-  }
-  // NIC-level retransmission: the source NI re-sends the whole packet as a
-  // fresh instance after an exponential backoff. It shares the response
-  // timer queue, so both kernels schedule it like any matured response
-  // (maturation counts it as offered; this instance stays terminal, which
-  // keeps the drain invariant delivered + corrupted == offered exact).
-  PendingPacket p;
-  p.packet_id = next_packet_id_++;
-  p.src_core = tail.src_core;
-  p.dst_core = tail.dst_core;
-  p.is_response = tail.is_response;
-  p.size_flits = tail.packet_size_flits;
-  p.retry = static_cast<std::uint8_t>(tail.retry + 1);
-  const Tick ready =
-      now + injector_->retx_backoff_ticks(static_cast<int>(tail.retry));
-  p.inject_tick = ready;
-  const RouterId src = topo_->router_of_core(tail.src_core);
-  nic(src).schedule_retransmit(p, ready);
-  ++pending_responses_;
-  if (indexed_) response_heap_.push({ready, src});
-  ++fs.retransmissions;
-  DOZZ_LOG_DEBUG("fault: packet " << tail.packet_id
-                 << " failed CRC; retransmit attempt "
-                 << static_cast<int>(p.retry) << " scheduled");
-}
-
-Tick Network::next_event_after(Tick trace_next) const {
-  Tick t = trace_next;
-  for (const auto& r : routers_) t = std::min(t, r.next_edge());
-  for (const auto& n : nics_) t = std::min(t, n.next_response_tick());
-  return t;
-}
-
 void Network::run(const Trace& trace, Tick end_tick) {
   run_loop(trace, end_tick, /*drain=*/false);
 }
 
 void Network::run_until_drained(const Trace& trace, Tick max_ticks) {
   run_loop(trace, max_ticks, /*drain=*/true);
-}
-
-void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
-  DOZZ_REQUIRE(!ran_);
-  DOZZ_REQUIRE(end_tick > 0);
-  ran_ = true;
-  run_drain_ = drain;
-  run_end_tick_ = end_tick;
-  running_trace_ = &trace;
-
-  if (resumed_) {
-    // A restored run must continue the exact same workload: the checkpoint
-    // records the run parameters and a trace fingerprint; any divergence
-    // would silently break the bit-identity contract, so it is an error.
-    if (drain != expect_drain_)
-      throw CheckpointError(
-          "checkpoint resume: drain mode mismatch (checkpoint was " +
-          std::string(expect_drain_ ? "drained" : "windowed") + ")");
-    if (end_tick != expect_end_tick_)
-      throw CheckpointError(
-          "checkpoint resume: run horizon mismatch (checkpoint had end tick " +
-          std::to_string(expect_end_tick_) + ", run has " +
-          std::to_string(end_tick) + ")");
-    if (trace.size() != expect_trace_size_ ||
-        trace_fingerprint(trace) != expect_trace_hash_)
-      throw CheckpointError(
-          "checkpoint resume: trace mismatch (checkpoint was taken against "
-          "trace '" +
-          expect_trace_name_ + "', " + std::to_string(expect_trace_size_) +
-          " entries)");
-  } else {
-    trace_cursor_ = 0;
-    next_epoch_ = config_.epoch_ticks();
-    last_event_ = 0;
-  }
-
-  // Long runs append one row per epoch; size the logs once up front
-  // instead of growing them through repeated reallocation.
-  const auto epochs = static_cast<std::size_t>(
-      end_tick / config_.epoch_ticks() + 1);
-  if (config_.collect_epoch_log) epoch_log_.reserve(epochs);
-  if (config_.collect_extended_log) extended_log_.reserve(epochs);
-
-  const Tick last_event = config_.legacy_linear_kernel
-                              ? run_loop_linear(trace, end_tick, drain)
-                              : run_loop_indexed(trace, end_tick, drain);
-
-  // In drain mode the run's duration is the time of the last event (the
-  // final delivery); in window mode it is the fixed horizon. An interrupted
-  // run compiles a *partial* report up to the stopping boundary — a resume
-  // restores the pre-compile checkpoint, so this accounting is discarded.
-  compile_metrics(interrupted_ || drain ? std::max<Tick>(last_event, 1)
-                                        : end_tick);
-}
-
-void Network::inject_matured(const std::vector<TraceEntry>& entries,
-                             std::size_t& cursor, bool gating, bool punch) {
-  while (cursor < entries.size() && entries[cursor].inject_tick() <= now_) {
-    const TraceEntry& e = entries[cursor++];
-    PendingPacket p;
-    p.packet_id = next_packet_id_++;
-    p.src_core = e.src;
-    p.dst_core = e.dst;
-    p.is_response = e.is_response;
-    p.size_flits = static_cast<std::uint16_t>(
-        e.is_response ? config_.response_size_flits
-                      : config_.request_size_flits);
-    p.inject_tick = now_;
-    const RouterId home = topo_->router_of_core(e.src);
-    nic(home).enqueue(p);
-    ++metrics_.packets_offered;
-    if (observer_ != nullptr)
-      observer_->on_packet_offered(now_, e.src, e.dst, e.is_response);
-    if (gating) {
-      if (punch) {
-        secure_path(home, topo_->router_of_core(e.dst), now_);
-      } else {
-        secure(home, now_);
-      }
-    }
-  }
-}
-
-void Network::mature_nic(NetworkInterface& n, bool gating, bool punch) {
-  dsts_scratch_.clear();
-  const int matured = n.mature_responses(now_, &dsts_scratch_);
-  pending_responses_ -= static_cast<std::uint64_t>(matured);
-  metrics_.packets_offered += static_cast<std::uint64_t>(matured);
-  if (matured > 0 && gating) {
-    if (punch) {
-      for (CoreId dst : dsts_scratch_)
-        secure_path(n.router(), topo_->router_of_core(dst), now_);
-    } else {
-      secure(n.router(), now_);
-    }
-  }
-}
-
-void Network::step_router(std::size_t i, bool gating) {
-  Router& r = routers_[i];
-  ++edge_steps_;
-  r.account_until(now_);
-  r.pre_step(now_);
-  nics_[i].inject_into(r, now_);
-  r.pipeline_step(now_, *this);
-  r.post_step(now_, nics_[i].has_backlog());
-  if (gating && policy_->may_gate(r.id()) && r.can_gate(now_) &&
-      (injector_ == nullptr || !policy_->gating_degraded(r.id()))) {
-    r.gate_off(now_);
-    if (observer_ != nullptr) observer_->on_gate_off(now_, r.id());
-  }
-  r.advance_clock(now_);
-}
-
-Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
-  const auto& entries = trace.entries();
-  // Loop-invariant policy/config lookups, hoisted out of the hot loops.
-  const bool gating = policy_->gating_enabled();
-  const bool punch = config_.lookahead_punch;
-
-  auto drained = [&]() {
-    if (trace_cursor_ < entries.size()) return false;
-    if (metrics_.packets_delivered + terminal_failures() !=
-        metrics_.packets_offered)
-      return false;
-    for (const auto& n : nics_)
-      if (n.has_backlog() || n.next_response_tick() != kInfTick) return false;
-    return true;
-  };
-
-  while (true) {
-    if (drain && drained()) break;
-    const Tick trace_next = trace_cursor_ < entries.size()
-                                ? entries[trace_cursor_].inject_tick()
-                                : kInfTick;
-    Tick t = std::min(next_event_after(trace_next), next_epoch_);
-    if (t >= end_tick) break;
-    DOZZ_ASSERT(t >= now_);
-    now_ = t;
-    last_event_ = t;
-    ++kernel_events_;
-
-    // 1. Matured trace entries become pending packets at their source NI.
-    inject_matured(entries, trace_cursor_, gating, punch);
-
-    // 2. Matured responses.
-    for (auto& n : nics_) {
-      if (n.next_response_tick() > now_) continue;
-      mature_nic(n, gating, punch);
-    }
-
-    // 3. Epoch boundary: feature capture and DVFS mode selection.
-    bool at_epoch = false;
-    if (now_ == next_epoch_) {
-      process_epoch(now_);
-      next_epoch_ += config_.epoch_ticks();
-      at_epoch = true;
-    }
-
-    // 4. Clock edges, in router-id order for determinism.
-    for (std::size_t i = 0; i < routers_.size(); ++i) {
-      if (routers_[i].next_edge() > now_) continue;
-      step_router(i, gating);
-    }
-
-    // Epoch hook, fired only after the boundary iteration completed its
-    // clock edges: a checkpoint taken here resumes at the *next* kernel
-    // event, so the resumed run re-counts nothing (bit-identity).
-    if (at_epoch && epoch_hook_ &&
-        !epoch_hook_(*this, now_, epochs_processed_)) {
-      interrupted_ = true;
-      break;
-    }
-  }
-  return last_event_;
-}
-
-void Network::schedule_edge(RouterId r) {
-  const Tick edge = routers_[static_cast<std::size_t>(r)].next_edge();
-  if (edge < kInfTick) edge_sched_.push(edge, r);
-}
-
-Tick Network::edge_min() {
-  while (!edge_sched_.empty()) {
-    const Tick tick = edge_sched_.front_tick();
-    // One live entry proves the bucket's tick is the minimum — stop there
-    // (the due-edge collection re-validates every entry anyway). Every
-    // reschedule pushes a fresh entry, so the live minimum is always
-    // present; a mismatched entry is a stale leftover. Only a fully stale
-    // bucket costs a full scan, and it is discarded on the spot.
-    for (const RouterId id : edge_sched_.front_bucket()) {
-      const Tick edge = routers_[static_cast<std::size_t>(id)].next_edge();
-      if (edge == tick) return tick;
-      DOZZ_ASSERT(edge > tick);
-    }
-    edge_sched_.pop_front();
-  }
-  return kInfTick;
-}
-
-Tick Network::response_min() {
-  while (!response_heap_.empty()) {
-    const auto [tick, id] = response_heap_.top();
-    const Tick live = nics_[static_cast<std::size_t>(id)].next_response_tick();
-    if (live == tick) return tick;
-    DOZZ_ASSERT(live > tick);
-    response_heap_.pop();
-  }
-  return kInfTick;
-}
-
-Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
-                               bool drain) {
-  const auto& entries = trace.entries();
-  // Loop-invariant policy/config lookups, hoisted out of the hot loops.
-  const bool gating = policy_->gating_enabled();
-  const bool punch = config_.lookahead_punch;
-
-  for (std::size_t i = 0; i < routers_.size(); ++i)
-    schedule_edge(static_cast<RouterId>(i));
-
-  // Rebuild the response heap from live NIC state: the heap is derived
-  // (lazy-invalidation) and is not checkpointed. One entry at each NIC's
-  // current minimum suffices — mature_nic re-publishes after every pop and
-  // response_min() discards anything stale. A fresh run has no pending
-  // responses, so this is a no-op there.
-  for (std::size_t i = 0; i < nics_.size(); ++i) {
-    const Tick t = nics_[i].next_response_tick();
-    if (t < kInfTick) response_heap_.push({t, static_cast<RouterId>(i)});
-  }
-
-  std::vector<RouterId> due;  // sorted ids due at now_
-
-  while (true) {
-    // Drain check without the per-event NIC scan: packets parked in NIC
-    // queues or in-network are offered-but-undelivered, so the only state
-    // the counters miss is responses scheduled but not yet matured.
-    if (drain && trace_cursor_ >= entries.size() && pending_responses_ == 0 &&
-        metrics_.packets_delivered + terminal_failures() ==
-            metrics_.packets_offered)
-      break;
-    const Tick trace_next = trace_cursor_ < entries.size()
-                                ? entries[trace_cursor_].inject_tick()
-                                : kInfTick;
-    const Tick t = std::min(std::min(trace_next, next_epoch_),
-                            std::min(edge_min(), response_min()));
-    if (t >= end_tick) break;
-    DOZZ_ASSERT(t >= now_);
-    now_ = t;
-    last_event_ = t;
-    ++kernel_events_;
-
-    // 1. Matured trace entries become pending packets at their source NI.
-    inject_matured(entries, trace_cursor_, gating, punch);
-
-    // 2. Matured responses, in NIC-id order (matches the linear sweep).
-    if (!response_heap_.empty() && response_heap_.top().first <= now_) {
-      due.clear();
-      while (!response_heap_.empty() && response_heap_.top().first <= now_) {
-        due.push_back(response_heap_.top().second);
-        response_heap_.pop();
-      }
-      std::sort(due.begin(), due.end());
-      due.erase(std::unique(due.begin(), due.end()), due.end());
-      for (RouterId id : due) {
-        NetworkInterface& n = nics_[static_cast<std::size_t>(id)];
-        if (n.next_response_tick() > now_) continue;  // stale entry
-        mature_nic(n, gating, punch);
-        if (n.next_response_tick() < kInfTick)
-          response_heap_.push({n.next_response_tick(), id});
-      }
-    }
-
-    // 3. Epoch boundary: feature capture and DVFS mode selection.
-    // set_active_mode can pull a slow router's edge *earlier* (new period
-    // from now), so process_epoch republishes affected edges before the
-    // due-edge collection below.
-    bool at_epoch = false;
-    if (now_ == next_epoch_) {
-      process_epoch(now_);
-      next_epoch_ += config_.epoch_ticks();
-      at_epoch = true;
-    }
-
-    // 4. Clock edges due now, in router-id order for determinism. The
-    // common case is a single due bucket already in id order (the sweep
-    // pushes reschedules in ascending id), so steal its storage instead of
-    // copying and only sort when a wake push actually broke the order.
-    due.clear();
-    while (!edge_sched_.empty() && edge_sched_.front_tick() <= now_) {
-      const Tick tick = edge_sched_.front_tick();
-      auto& bucket = edge_sched_.front_bucket();
-      if (due.empty()) {
-        due.swap(bucket);
-        std::size_t live = 0;
-        for (const RouterId id : due)
-          if (routers_[static_cast<std::size_t>(id)].next_edge() == tick)
-            due[live++] = id;
-        due.resize(live);
-      } else {
-        for (const RouterId id : bucket)
-          if (routers_[static_cast<std::size_t>(id)].next_edge() == tick)
-            due.push_back(id);
-      }
-      edge_sched_.pop_front();
-    }
-    if (!std::is_sorted(due.begin(), due.end()))
-      std::sort(due.begin(), due.end());
-    due.erase(std::unique(due.begin(), due.end()), due.end());
-    for (std::size_t k = 0; k < due.size(); ++k) {
-      const RouterId id = due[k];
-      if (routers_[static_cast<std::size_t>(id)].next_edge() > now_)
-        continue;  // rescheduled since collection
-      step_router(static_cast<std::size_t>(id), gating);
-      schedule_edge(id);
-      // A pipeline step can wake a neighbour with a zero-length wakeup,
-      // landing a new edge at now_ mid-sweep. The linear sweep visits such
-      // a router this iteration only when its id is still ahead of the
-      // cursor; an id already passed waits for the next same-tick
-      // iteration. Mirror both cases exactly: ids ahead of the cursor join
-      // this sweep; the rest stay bucketed for the next now_ iteration.
-      if (!edge_sched_.empty() && edge_sched_.front_tick() <= now_) {
-        auto& bucket = edge_sched_.front_bucket();
-        std::size_t deferred = 0;
-        for (const RouterId late_id : bucket) {
-          if (routers_[static_cast<std::size_t>(late_id)].next_edge() != now_)
-            continue;  // stale
-          if (late_id > id) {
-            const auto it = std::lower_bound(
-                due.begin() + static_cast<std::ptrdiff_t>(k) + 1, due.end(),
-                late_id);
-            if (it == due.end() || *it != late_id) due.insert(it, late_id);
-          } else {
-            bucket[deferred++] = late_id;
-          }
-        }
-        if (deferred == 0) {
-          edge_sched_.pop_front();
-        } else {
-          bucket.resize(deferred);
-        }
-      }
-    }
-
-    // Epoch hook, after the boundary iteration's clock edges (see the
-    // linear kernel for why this placement preserves bit-identity).
-    if (at_epoch && epoch_hook_ &&
-        !epoch_hook_(*this, now_, epochs_processed_)) {
-      interrupted_ = true;
-      break;
-    }
-  }
-  return last_event_;
-}
-
-void Network::check_progress(Tick now) {
-  const std::uint64_t done =
-      metrics_.packets_delivered + terminal_failures();
-  const bool progressed = metrics_.flits_delivered != last_progress_flits_;
-  last_progress_flits_ = metrics_.flits_delivered;
-  if (progressed ||
-      (done == metrics_.packets_offered && pending_responses_ == 0)) {
-    stalled_epochs_ = 0;
-    return;
-  }
-  if (++stalled_epochs_ < watchdog_epochs_) return;
-
-  // Structured per-router diagnostic dump. Emitted unconditionally (the
-  // run is about to die with SimStallError; the dump is the post-mortem).
-  log_line(LogLevel::kInfo,
-           "watchdog: no flit ejected for " +
-               std::to_string(stalled_epochs_) + " epochs at tick " +
-               std::to_string(now) + "; outstanding packets=" +
-               std::to_string(metrics_.packets_offered - done) +
-               " pending_responses=" + std::to_string(pending_responses_));
-  for (std::size_t i = 0; i < routers_.size(); ++i) {
-    const Router& r = routers_[i];
-    const NetworkInterface& n = nics_[i];
-    if (r.buffered_flits() == 0 && n.backlog() == 0 &&
-        r.state() == RouterState::kActive && !r.stalled(now))
-      continue;  // healthy and empty — not part of the story
-    std::ostringstream os;
-    os << "watchdog: router " << i << " state=" << state_label(r.state())
-       << " mode=" << mode_label(r.active_mode())
-       << " buffered=" << r.buffered_flits() << " nic_backlog=" << n.backlog()
-       << " next_edge=" << r.next_edge() << " stall_until=" << r.stall_until()
-       << " wake_done=" << r.wake_done()
-       << " wake_faults=" << r.wake_faults()
-       << " regulator_faults=" << r.regulator_faults();
-    log_line(LogLevel::kInfo, os.str());
-  }
-  throw SimStallError(
-      "simulation stalled: no flit ejected for " +
-          std::to_string(stalled_epochs_) + " epochs at tick " +
-          std::to_string(now) + " with " +
-          std::to_string(metrics_.packets_offered - done) +
-          " packets outstanding (per-router dump on stderr)",
-      now);
-}
-
-void Network::process_epoch(Tick now) {
-  if (watchdog_epochs_ > 0) check_progress(now);
-  if (observer_ != nullptr)
-    observer_->on_epoch_boundary(now, epochs_processed_);
-  policy_->on_epoch_begin(epochs_processed_++);
-  const bool extended =
-      config_.collect_extended_log || policy_->wants_extended_features();
-  // Build each window's rows in reused scratch so a boundary allocates
-  // nothing beyond what a retained log copy inherently needs.
-  epoch_row_scratch_.clear();
-  ext_rows_scratch_.clear();
-
-  for (std::size_t i = 0; i < routers_.size(); ++i) {
-    Router& r = routers_[i];
-    NetworkInterface& n = nics_[i];
-    RouterSnapshot& snap = snapshots_[i];
-
-    EpochFeatures f;
-    f.bias = 1.0;
-    f.reqs_sent = static_cast<double>(n.epoch_requests_sent());
-    f.reqs_received = static_cast<double>(n.epoch_requests_received());
-    f.total_off_kcycles = static_cast<double>(r.total_off_ticks(now)) /
-                          (1000.0 * static_cast<double>(kBaselinePeriodTicks));
-    f.current_ibu = r.epoch_ibu();
-    if (config_.collect_epoch_log) epoch_row_scratch_.push_back(f);
-
-    if (extended) {
-      // Flush static accounting so the per-window off time is current.
-      r.account_until(now);
-      ExtendedFeatureInputs& in = ext_in_scratch_;
-      in.base = f;
-      r.epoch_counters_into(&in.counters);
-      in.mean_ibu = r.epoch_mean_ibu();
-      in.epoch_hops =
-          static_cast<double>(r.accountant().hops() - snap.hops);
-      in.epoch_wakeups = static_cast<double>(r.wakeups() - snap.wakeups);
-      in.epoch_gatings = static_cast<double>(r.gatings() - snap.gatings);
-      in.epoch_switches =
-          static_cast<double>(r.mode_switches() - snap.switches);
-      const Tick window = now - snap.epoch_start;
-      in.epoch_off_fraction =
-          window == 0
-              ? 0.0
-              : static_cast<double>(r.total_off_ticks(now) -
-                                    snap.inactive_ticks) /
-                    static_cast<double>(window);
-      in.mode_index_now = static_cast<double>(mode_index(r.active_mode()));
-      in.prev_base = snap.prev_base;
-      build_extended_features(in, &ext_scratch_);
-      if (config_.collect_extended_log)
-        ext_rows_scratch_.push_back(ext_scratch_);
-
-      snap.hops = r.accountant().hops();
-      snap.wakeups = r.wakeups();
-      snap.gatings = r.gatings();
-      snap.switches = r.mode_switches();
-      snap.inactive_ticks = r.total_off_ticks(now);
-      snap.epoch_start = now;
-      snap.prev_base = f;
-    }
-
-    if (r.state() == RouterState::kActive) {
-      // Fault: a voltage droop pre-empts this window's mode decision — the
-      // domain snaps to nominal and stalls while the LDO recovers.
-      if (injector_ != nullptr && injector_->droop()) {
-        r.apply_droop(now, injector_->droop_stall_ticks(r.active_mode()));
-        if (indexed_) schedule_edge(r.id());
-      } else {
-        const VfMode mode =
-            policy_->wants_extended_features()
-                ? policy_->select_mode_extended(r.id(), ext_scratch_)
-                : policy_->select_mode(r.id(), f);
-        if (policy_->uses_ml()) {
-          r.charge_label();
-          ++metrics_.labels_computed;
-        }
-        ++metrics_.epoch_mode_counts[static_cast<std::size_t>(
-            mode_index(mode))];
-        if (observer_ != nullptr)
-          observer_->on_mode_selected(now, r.id(), mode);
-        r.set_active_mode(mode, now);
-        // A mode change can move this router's next edge (a new, possibly
-        // shorter period counts from now); republish it for the event heap.
-        if (indexed_) schedule_edge(r.id());
-      }
-      // Repeated regulator faults (failed switches, droops) pin the domain
-      // to the nominal point: every future select_mode resolves through
-      // PowerController::resolve_degraded to kNominalMode.
-      if (injector_ != nullptr && !policy_->pinned_nominal(r.id()) &&
-          r.regulator_faults() >= static_cast<std::uint64_t>(
-                                      config_.faults.regulator_fault_threshold)) {
-        policy_->pin_nominal(r.id());
-        ++injector_->stats().routers_pinned_nominal;
-        DOZZ_LOG_INFO("fault: router " << r.id() << " absorbed "
-                      << r.regulator_faults()
-                      << " regulator faults; pinned to nominal V/F");
-      }
-    }
-
-    n.reset_epoch_window();
-    r.reset_epoch_window();
-  }
-  if (config_.collect_epoch_log) epoch_log_.push_back(epoch_row_scratch_);
-  if (config_.collect_extended_log)
-    extended_log_.push_back(ext_rows_scratch_);
-}
-
-void Network::compile_metrics(Tick end_tick) {
-  metrics_.sim_ticks = end_tick;
-  double total_router_ticks = 0.0;
-  double ibu_sum = 0.0;
-  double off_ticks = 0.0;
-
-  for (auto& r : routers_) {
-    r.account_until(end_tick);
-    const EnergyAccountant& acc = r.accountant();
-    metrics_.static_energy_j += acc.static_energy_j();
-    metrics_.dynamic_energy_j += acc.dynamic_energy_j();
-    metrics_.ml_energy_j += acc.ml_energy_j();
-    metrics_.wall_static_energy_j += acc.wall_static_energy_j();
-    metrics_.wall_dynamic_energy_j += acc.wall_dynamic_energy_j();
-    metrics_.gatings += r.gatings();
-    metrics_.wakeups += r.wakeups();
-    metrics_.premature_wakeups += r.premature_wakeups();
-    metrics_.mode_switches += r.mode_switches();
-
-    metrics_.state_fractions[0] +=
-        static_cast<double>(acc.inactive_ticks());
-    metrics_.state_fractions[1] += static_cast<double>(acc.wakeup_ticks());
-    for (int m = 0; m < kNumVfModes; ++m) {
-      metrics_.state_fractions[static_cast<std::size_t>(2 + m)] +=
-          static_cast<double>(
-              r.active_mode_ticks()[static_cast<std::size_t>(m)]);
-    }
-    total_router_ticks += static_cast<double>(acc.accounted_ticks());
-    off_ticks += static_cast<double>(acc.inactive_ticks());
-    ibu_sum += r.lifetime_ibu();
-  }
-
-  if (total_router_ticks > 0) {
-    for (auto& fraction : metrics_.state_fractions)
-      fraction /= total_router_ticks;
-    metrics_.off_time_fraction = off_ticks / total_router_ticks;
-  }
-  if (!routers_.empty())
-    metrics_.avg_ibu = ibu_sum / static_cast<double>(routers_.size());
-
-  if (latency_hist_.total() > 0) {
-    metrics_.latency_p50_ns = latency_hist_.quantile(0.50);
-    metrics_.latency_p95_ns = latency_hist_.quantile(0.95);
-    metrics_.latency_p99_ns = latency_hist_.quantile(0.99);
-  }
-
-  if (injector_ != nullptr) metrics_.faults = injector_->stats();
-
-  DOZZ_LOG_INFO("run complete: policy=" << policy_->name()
-                << " delivered=" << metrics_.packets_delivered << "/"
-                << metrics_.packets_offered
-                << " static=" << metrics_.static_energy_j
-                << "J dynamic=" << metrics_.dynamic_energy_j << "J");
-}
-
-void Network::save_checkpoint(CkptWriter& w) const {
-  DOZZ_REQUIRE(running_trace_ != nullptr);  // only meaningful mid-run
-  w.tag("NET0");
-
-  // --- Validation block: the resuming process must reconstruct an
-  // identical simulation before loading mutable state. The kernel flag is
-  // deliberately absent — both kernels are bit-identical, so a checkpoint
-  // written under one may be resumed under the other.
-  w.str(topo_->name());
-  w.i32(topo_->num_routers());
-  w.i32(topo_->concentration());
-  w.u64(config_.epoch_cycles);
-  w.i32(config_.vcs_per_port);
-  w.i32(config_.buffer_depth_flits);
-  w.i32(config_.vc_classes);
-  w.i32(config_.request_size_flits);
-  w.i32(config_.response_size_flits);
-  w.boolean(config_.auto_response);
-  w.u8(static_cast<std::uint8_t>(config_.routing));
-  w.boolean(config_.lookahead_punch);
-  w.boolean(config_.collect_epoch_log);
-  w.boolean(config_.collect_extended_log);
-  w.boolean(config_.faults.enabled);
-  w.str(policy_->name());
-
-  // --- Kernel run state ---
-  w.tag("RUN0");
-  w.u64(now_);
-  w.u64(next_packet_id_);
-  w.u64(epochs_processed_);
-  w.u64(static_cast<std::uint64_t>(trace_cursor_));
-  w.u64(next_epoch_);
-  w.u64(last_event_);
-  w.boolean(run_drain_);
-  w.u64(run_end_tick_);
-  w.str(running_trace_->name());
-  w.u64(running_trace_->size());
-  w.u64(trace_fingerprint(*running_trace_));
-  w.i32(stalled_epochs_);
-  w.u64(last_progress_flits_);
-  w.u64(pending_responses_);
-  w.u64(kernel_events_);
-  w.u64(edge_steps_);
-
-  // Corrupt-partial set, sorted so identical states write identical bytes.
-  {
-    std::vector<std::uint64_t> ids(corrupt_partial_.begin(),
-                                   corrupt_partial_.end());
-    std::sort(ids.begin(), ids.end());
-    w.u32(static_cast<std::uint32_t>(ids.size()));
-    for (std::uint64_t id : ids) w.u64(id);
-  }
-
-  // --- Cumulative statistics ---
-  w.tag("HIST");
-  w.u64(latency_hist_.bins());
-  for (std::size_t b = 0; b < latency_hist_.bins(); ++b)
-    w.u64(latency_hist_.bin_count(b));
-  w.u64(latency_hist_.underflow());
-  w.u64(latency_hist_.overflow());
-  w.u64(latency_hist_.total());
-
-  w.tag("MET0");
-  save_metrics(w, metrics_);
-
-  w.tag("LOG0");
-  w.u32(static_cast<std::uint32_t>(epoch_log_.size()));
-  for (const auto& row : epoch_log_) {
-    w.u32(static_cast<std::uint32_t>(row.size()));
-    for (const auto& f : row) save_epoch_features(w, f);
-  }
-  w.u32(static_cast<std::uint32_t>(extended_log_.size()));
-  for (const auto& row : extended_log_) {
-    w.u32(static_cast<std::uint32_t>(row.size()));
-    for (const auto& vec : row) {
-      w.u32(static_cast<std::uint32_t>(vec.size()));
-      for (double v : vec) w.f64(v);
-    }
-  }
-
-  w.tag("SNAP");
-  w.u32(static_cast<std::uint32_t>(snapshots_.size()));
-  for (const auto& s : snapshots_) {
-    w.u64(s.hops);
-    w.u64(s.wakeups);
-    w.u64(s.gatings);
-    w.u64(s.switches);
-    w.u64(s.inactive_ticks);
-    w.u64(s.epoch_start);
-    save_epoch_features(w, s.prev_base);
-  }
-
-  // --- Fault injector (RNG stream position + counters) ---
-  if (injector_ != nullptr) {
-    w.tag("FLT0");
-    for (std::uint64_t word : injector_->rng_state()) w.u64(word);
-    save_fault_stats(w, injector_->stats());
-  }
-
-  // --- Policy, NICs, routers ---
-  policy_->save_state(w);
-  w.tag("NICS");
-  for (const auto& n : nics_) n.save_state(w);
-  w.tag("RTRS");
-  for (const auto& r : routers_) r.save_state(w);
-  w.tag("END0");
-}
-
-void Network::restore_checkpoint(CkptReader& r) {
-  DOZZ_REQUIRE(!ran_ && now_ == 0);  // restore only into a fresh network
-  r.expect_tag("NET0");
-
-  // --- Validation block ---
-  const std::string topo_name = r.str();
-  if (topo_name != topo_->name())
-    r.fail("topology mismatch: checkpoint has '" + topo_name +
-           "', network has '" + topo_->name() + "'");
-  if (r.i32() != topo_->num_routers()) r.fail("router count mismatch");
-  if (r.i32() != topo_->concentration()) r.fail("concentration mismatch");
-  if (r.u64() != config_.epoch_cycles) r.fail("epoch length mismatch");
-  if (r.i32() != config_.vcs_per_port) r.fail("VC count mismatch");
-  if (r.i32() != config_.buffer_depth_flits) r.fail("buffer depth mismatch");
-  if (r.i32() != config_.vc_classes) r.fail("VC class count mismatch");
-  if (r.i32() != config_.request_size_flits)
-    r.fail("request size mismatch");
-  if (r.i32() != config_.response_size_flits)
-    r.fail("response size mismatch");
-  if (r.boolean() != config_.auto_response)
-    r.fail("auto-response setting mismatch");
-  if (r.u8() != static_cast<std::uint8_t>(config_.routing))
-    r.fail("routing algorithm mismatch");
-  if (r.boolean() != config_.lookahead_punch)
-    r.fail("lookahead-punch setting mismatch");
-  if (r.boolean() != config_.collect_epoch_log)
-    r.fail("epoch-log collection setting mismatch");
-  if (r.boolean() != config_.collect_extended_log)
-    r.fail("extended-log collection setting mismatch");
-  if (r.boolean() != config_.faults.enabled)
-    r.fail("fault-injection setting mismatch");
-  const std::string policy = r.str();
-  if (policy != policy_->name())
-    r.fail("policy mismatch: checkpoint has '" + policy +
-           "', network has '" + policy_->name() + "'");
-
-  // --- Kernel run state ---
-  r.expect_tag("RUN0");
-  now_ = r.u64();
-  next_packet_id_ = r.u64();
-  epochs_processed_ = r.u64();
-  trace_cursor_ = static_cast<std::size_t>(r.u64());
-  next_epoch_ = r.u64();
-  last_event_ = r.u64();
-  expect_drain_ = r.boolean();
-  expect_end_tick_ = r.u64();
-  expect_trace_name_ = r.str();
-  expect_trace_size_ = r.u64();
-  expect_trace_hash_ = r.u64();
-  stalled_epochs_ = r.i32();
-  last_progress_flits_ = r.u64();
-  pending_responses_ = r.u64();
-  kernel_events_ = r.u64();
-  edge_steps_ = r.u64();
-
-  corrupt_partial_.clear();
-  {
-    const std::uint32_t n = r.u32();
-    for (std::uint32_t i = 0; i < n; ++i) corrupt_partial_.insert(r.u64());
-  }
-
-  // --- Cumulative statistics ---
-  r.expect_tag("HIST");
-  {
-    const std::uint64_t bins = r.u64();
-    if (bins != latency_hist_.bins()) r.fail("histogram bin count mismatch");
-    std::vector<std::size_t> counts(static_cast<std::size_t>(bins));
-    for (auto& c : counts) c = static_cast<std::size_t>(r.u64());
-    const auto underflow = static_cast<std::size_t>(r.u64());
-    const auto overflow = static_cast<std::size_t>(r.u64());
-    const auto total = static_cast<std::size_t>(r.u64());
-    latency_hist_.restore(counts, underflow, overflow, total);
-  }
-
-  r.expect_tag("MET0");
-  load_metrics(r, &metrics_);
-
-  r.expect_tag("LOG0");
-  {
-    epoch_log_.clear();
-    const std::uint32_t rows = r.u32();
-    epoch_log_.reserve(rows);
-    for (std::uint32_t i = 0; i < rows; ++i) {
-      std::vector<EpochFeatures> row;
-      const std::uint32_t cols = r.u32();
-      row.reserve(cols);
-      for (std::uint32_t j = 0; j < cols; ++j)
-        row.push_back(load_epoch_features(r));
-      epoch_log_.push_back(std::move(row));
-    }
-    extended_log_.clear();
-    const std::uint32_t xrows = r.u32();
-    extended_log_.reserve(xrows);
-    for (std::uint32_t i = 0; i < xrows; ++i) {
-      std::vector<std::vector<double>> row;
-      const std::uint32_t cols = r.u32();
-      row.reserve(cols);
-      for (std::uint32_t j = 0; j < cols; ++j) {
-        std::vector<double> vec(r.u32());
-        for (auto& v : vec) v = r.f64();
-        row.push_back(std::move(vec));
-      }
-      extended_log_.push_back(std::move(row));
-    }
-  }
-
-  r.expect_tag("SNAP");
-  if (r.u32() != snapshots_.size()) r.fail("snapshot count mismatch");
-  for (auto& s : snapshots_) {
-    s.hops = r.u64();
-    s.wakeups = r.u64();
-    s.gatings = r.u64();
-    s.switches = r.u64();
-    s.inactive_ticks = r.u64();
-    s.epoch_start = r.u64();
-    s.prev_base = load_epoch_features(r);
-  }
-
-  if (injector_ != nullptr) {
-    r.expect_tag("FLT0");
-    Rng::State state;
-    for (auto& word : state) word = r.u64();
-    injector_->set_rng_state(state);
-    injector_->set_stats(load_fault_stats(r));
-  }
-
-  policy_->load_state(r);
-  r.expect_tag("NICS");
-  for (auto& n : nics_) n.load_state(r);
-  r.expect_tag("RTRS");
-  for (auto& rt : routers_) rt.load_state(r);
-  r.expect_tag("END0");
-
-  resumed_ = true;
 }
 
 }  // namespace dozz

@@ -16,6 +16,7 @@
 #include "src/noc/nic.hpp"
 #include "src/noc/noc_config.hpp"
 #include "src/noc/router.hpp"
+#include "src/noc/sim_context.hpp"
 #include "src/noc/stats.hpp"
 #include "src/power/power_model.hpp"
 #include "src/regulator/simo_ldo.hpp"
@@ -74,7 +75,7 @@ class Network : public RouterEnvironment {
   /// once (instead of run()).
   void run_until_drained(const Trace& trace, Tick max_ticks);
 
-  const NetworkMetrics& metrics() const { return metrics_; }
+  const NetworkMetrics& metrics() const { return ctx_.metrics; }
 
   /// Per-epoch, per-router feature log (only populated when
   /// config.collect_epoch_log is set). epoch_log()[e][r].
@@ -92,8 +93,11 @@ class Network : public RouterEnvironment {
   Router& router(RouterId r);
   const Router& router(RouterId r) const;
   NetworkInterface& nic(RouterId r);
-  const Topology& topology() const { return *topo_; }
-  Tick now() const { return now_; }
+  const Topology& topology() const { return *ctx_.topo; }
+  Tick now() const { return ctx_.now; }
+
+  /// The shared simulation context threaded through every phase.
+  const SimContext& context() const { return ctx_; }
 
   /// Kernel iterations executed (distinct visits to an event time; a tick
   /// can be revisited when a same-tick wake lands behind the sweep).
@@ -103,10 +107,10 @@ class Network : public RouterEnvironment {
 
   /// Installs an event observer (nullptr to remove). The observer must
   /// outlive the run.
-  void set_observer(EventObserver* observer) { observer_ = observer; }
+  void set_observer(EventObserver* observer) { ctx_.observer = observer; }
 
   /// The fault injector, or nullptr when the fault layer is disabled.
-  const FaultInjector* fault_injector() const { return injector_.get(); }
+  const FaultInjector* fault_injector() const { return ctx_.injector.get(); }
 
   /// Effective no-progress watchdog threshold in epochs (0 = disabled).
   /// Resolved from NocConfig::watchdog_epochs and DOZZ_WATCHDOG_EPOCHS.
@@ -119,8 +123,8 @@ class Network : public RouterEnvironment {
   /// checkpointable state and metrics are compiled up to the boundary
   /// (a partial report). The hook is where periodic checkpoints and
   /// cooperative interruption (signals, timeouts) live.
-  using EpochHook = std::function<bool(Network&, Tick, std::uint64_t)>;
-  void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+  using EpochHook = ::dozz::EpochHook;
+  void set_epoch_hook(EpochHook hook) { ctx_.epoch_hook = std::move(hook); }
 
   /// True when the last run was stopped early by the epoch hook.
   bool interrupted() const { return interrupted_; }
@@ -171,7 +175,8 @@ class Network : public RouterEnvironment {
   /// Packet instances that terminated without delivery (CRC failures);
   /// the drain invariant is delivered + terminal_failures == offered.
   std::uint64_t terminal_failures() const {
-    return injector_ == nullptr ? 0 : injector_->stats().packets_corrupted;
+    return ctx_.injector == nullptr ? 0
+                                    : ctx_.injector->stats().packets_corrupted;
   }
   /// No-progress watchdog, evaluated at every epoch boundary: throws
   /// SimStallError with a per-router diagnostic dump after
@@ -214,21 +219,16 @@ class Network : public RouterEnvironment {
   /// tick (kInfTick if empty).
   Tick response_min();
 
-  const Topology* topo_;
-  NocConfig config_;
-  PowerController* policy_;
-  const PowerModel* power_;
-  const SimoLdoRegulator* regulator_;
-  MlOverheadModel ml_overhead_;
+  /// Shared services (config, clock, stats sinks, fault injector, hooks)
+  /// threaded through the extracted phase TUs.
+  SimContext ctx_;
 
   std::vector<Router> routers_;
   std::vector<NetworkInterface> nics_;
 
-  Tick now_ = 0;
   std::uint64_t next_packet_id_ = 1;
   std::uint64_t epochs_processed_ = 0;
   bool ran_ = false;
-  EventObserver* observer_ = nullptr;
 
   // --- Checkpoint/restore run state (DESIGN.md §8) ---
   // The kernel loop's progress lives in members (not locals) so a
@@ -241,7 +241,6 @@ class Network : public RouterEnvironment {
   bool interrupted_ = false;      ///< Last run stopped by the epoch hook.
   bool run_drain_ = false;        ///< Drain mode of the (current) run.
   Tick run_end_tick_ = 0;         ///< Horizon of the (current) run.
-  EpochHook epoch_hook_;
   const Trace* running_trace_ = nullptr;  ///< Set for the duration of a run.
   /// Expected run parameters recorded in the checkpoint, validated when
   /// the resumed run starts (the trace itself is not serialized).
@@ -251,9 +250,6 @@ class Network : public RouterEnvironment {
   bool expect_drain_ = false;
   Tick expect_end_tick_ = 0;
 
-  /// Non-null only when config.faults.enabled; every hook checks this
-  /// pointer so fault-free runs skip the layer entirely.
-  std::unique_ptr<FaultInjector> injector_;
   /// Packets with a corrupted non-tail flit already ejected, pending their
   /// tail (the whole instance fails the end-to-end check).
   std::unordered_set<std::uint64_t> corrupt_partial_;
@@ -269,8 +265,6 @@ class Network : public RouterEnvironment {
   std::uint64_t edge_steps_ = 0;
   std::vector<CoreId> dsts_scratch_;  ///< mature_nic punch targets.
 
-  Histogram latency_hist_{0.0, 4000.0, 8000};  ///< 0.5 ns bins.
-  NetworkMetrics metrics_;
   std::vector<std::vector<EpochFeatures>> epoch_log_;
   std::vector<std::vector<std::vector<double>>> extended_log_;
 

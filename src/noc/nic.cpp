@@ -6,6 +6,7 @@
 #include "src/ckpt/state_io.hpp"
 #include "src/common/error.hpp"
 #include "src/faults/crc.hpp"
+#include "src/noc/sim_context.hpp"
 
 namespace dozz {
 
@@ -13,6 +14,9 @@ NetworkInterface::NetworkInterface(RouterId router, const Topology& topo,
                                    const NocConfig& config)
     : router_(router), topo_(&topo), config_(&config),
       queues_(static_cast<std::size_t>(topo.concentration())) {}
+
+NetworkInterface::NetworkInterface(RouterId router, const SimContext& ctx)
+    : NetworkInterface(router, *ctx.topo, ctx.config) {}
 
 void NetworkInterface::enqueue(const PendingPacket& packet) {
   const int slot = topo_->local_slot_of_core(packet.src_core);

@@ -26,6 +26,9 @@ class NetworkInterface {
   NetworkInterface(RouterId router, const Topology& topo,
                    const NocConfig& config);
 
+  /// Convenience wiring from the shared simulation context.
+  NetworkInterface(RouterId router, const SimContext& ctx);
+
   RouterId router() const { return router_; }
 
   /// Queues a matured packet for injection (trace entry or generated

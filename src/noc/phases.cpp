@@ -1,0 +1,223 @@
+// Per-event simulation phases shared by both kernels: trace injection,
+// NIC response maturation, router stepping, and the RouterEnvironment
+// callbacks (flit/credit transport, Power Punch wakeups, ejection with the
+// end-to-end CRC check and retransmission scheduling).
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+#include "src/faults/crc.hpp"
+#include "src/noc/network.hpp"
+
+namespace dozz {
+
+bool Network::downstream_can_accept(RouterId r) const {
+  return router(r).state() == RouterState::kActive;
+}
+
+void Network::secure(RouterId r, Tick now) {
+  Router& target = router(r);
+  target.mark_secured(now);
+  if (target.state() == RouterState::kInactive &&
+      ctx_.policy->gating_enabled()) {
+    target.request_wake(now);
+    if (target.state() != RouterState::kInactive) {
+      if (indexed_) schedule_edge(r);  // wake moved next_edge off kInfTick
+      if (ctx_.observer != nullptr) ctx_.observer->on_wakeup_begin(now, r);
+    } else if (ctx_.injector != nullptr) {
+      // The wake request was lost (dropped, or refused by a stuck power
+      // switch). The caller's secure() pokes retry on every subsequent
+      // cycle; once losses pass the threshold, stop gating this router —
+      // an unwakeable router is worse than an always-on one.
+      if (!ctx_.policy->gating_degraded(r) &&
+          target.wake_faults() >= static_cast<std::uint64_t>(
+                                      ctx_.config.faults.wake_loss_threshold)) {
+        ctx_.policy->degrade_gating(r);
+        ++ctx_.injector->stats().routers_gating_degraded;
+        DOZZ_LOG_INFO("fault: router " << r << " lost "
+                      << target.wake_faults()
+                      << " wake requests; gating degraded off");
+      }
+    }
+  }
+}
+
+void Network::punch_ahead(RouterId r, RouterId dst, Tick now) {
+  if (const auto nh = ctx_.topo->next_hop(r, dst, ctx_.config.routing))
+    secure(*nh, now);
+}
+
+void Network::secure_path(RouterId src, RouterId dst, Tick now) {
+  RouterId cur = src;
+  secure(cur, now);
+  while (cur != dst) {
+    const auto nh = ctx_.topo->next_hop(cur, dst, ctx_.config.routing);
+    DOZZ_ASSERT(nh.has_value());
+    cur = *nh;
+    secure(cur, now);
+  }
+}
+
+void Network::deliver(RouterId r, int port, int vc, Tick arrival,
+                      const Flit& flit) {
+  Router& target = router(r);
+  if (ctx_.injector != nullptr) {
+    // Link fault: bit flips during this hop's link traversal. The payload
+    // is abstract, so the damage lands on the stored CRC — exactly what
+    // the end-to-end check at ejection sees either way.
+    if (const std::uint16_t mask = ctx_.injector->corrupt_link_flit()) {
+      Flit damaged = flit;
+      damaged.crc = static_cast<std::uint16_t>(damaged.crc ^ mask);
+      target.flit_in(port).push({arrival, vc, damaged});
+      target.note_inbound();
+      return;
+    }
+  }
+  target.flit_in(port).push({arrival, vc, flit});
+  target.note_inbound();
+}
+
+void Network::send_credit(RouterId upstream, int port, int vc, Tick arrival) {
+  Router& up = router(upstream);
+  up.credit_in(port).push({arrival, port, vc});
+  up.note_credit();
+}
+
+void Network::eject(RouterId r, const Flit& flit, Tick now) {
+  ++ctx_.metrics.flits_delivered;
+  if (ctx_.injector != nullptr) {
+    // End-to-end integrity check. A corrupted body flit marks the whole
+    // packet instance; the verdict lands on the tail so the packet is
+    // accepted or rejected atomically.
+    bool corrupted = flit.crc != flit_crc(flit);
+    if (corrupted && !flit.is_tail) corrupt_partial_.insert(flit.packet_id);
+    if (flit.is_tail) {
+      const auto it = corrupt_partial_.find(flit.packet_id);
+      if (it != corrupt_partial_.end()) {
+        corrupted = true;
+        corrupt_partial_.erase(it);
+      }
+      if (corrupted) {
+        handle_corrupt_tail(flit, now);
+        return;
+      }
+    }
+  }
+  if (!flit.is_tail) return;
+
+  NetworkInterface& sink = nic(r);
+  sink.on_ejected_packet(flit);
+  if (ctx_.observer != nullptr) ctx_.observer->on_packet_delivered(now, flit);
+  ++ctx_.metrics.packets_delivered;
+  if (flit.is_response)
+    ++ctx_.metrics.responses_delivered;
+  else
+    ++ctx_.metrics.requests_delivered;
+  const double latency_ns = ns_from_ticks(now - flit.inject_tick);
+  ctx_.metrics.packet_latency_ns.add(latency_ns);
+  ctx_.latency_hist.add(latency_ns);
+  ctx_.metrics.network_latency_ns.add(ns_from_ticks(now - flit.enter_tick));
+  ctx_.metrics.packet_hops.add(static_cast<double>(flit.hops));
+
+  if (!flit.is_response && ctx_.config.auto_response) {
+    const Tick ready = now + ticks_from_ns(ctx_.config.response_delay_ns);
+    sink.schedule_response(next_packet_id_++, flit.dst_core, flit.src_core,
+                           ready);
+    ++pending_responses_;
+    if (indexed_) response_heap_.push({ready, r});
+  }
+}
+
+void Network::handle_corrupt_tail(const Flit& tail, Tick now) {
+  FaultStats& fs = ctx_.injector->stats();
+  ++fs.packets_corrupted;
+  if (static_cast<int>(tail.retry) >= ctx_.config.faults.max_retries) {
+    ++fs.packets_lost;
+    DOZZ_LOG_INFO("fault: packet " << tail.packet_id << " lost after "
+                  << static_cast<int>(tail.retry) << " retries");
+    return;
+  }
+  // NIC-level retransmission: the source NI re-sends the whole packet as a
+  // fresh instance after an exponential backoff. It shares the response
+  // timer queue, so both kernels schedule it like any matured response
+  // (maturation counts it as offered; this instance stays terminal, which
+  // keeps the drain invariant delivered + corrupted == offered exact).
+  PendingPacket p;
+  p.packet_id = next_packet_id_++;
+  p.src_core = tail.src_core;
+  p.dst_core = tail.dst_core;
+  p.is_response = tail.is_response;
+  p.size_flits = tail.packet_size_flits;
+  p.retry = static_cast<std::uint8_t>(tail.retry + 1);
+  const Tick ready =
+      now + ctx_.injector->retx_backoff_ticks(static_cast<int>(tail.retry));
+  p.inject_tick = ready;
+  const RouterId src = ctx_.topo->router_of_core(tail.src_core);
+  nic(src).schedule_retransmit(p, ready);
+  ++pending_responses_;
+  if (indexed_) response_heap_.push({ready, src});
+  ++fs.retransmissions;
+  DOZZ_LOG_DEBUG("fault: packet " << tail.packet_id
+                 << " failed CRC; retransmit attempt "
+                 << static_cast<int>(p.retry) << " scheduled");
+}
+
+void Network::inject_matured(const std::vector<TraceEntry>& entries,
+                             std::size_t& cursor, bool gating, bool punch) {
+  while (cursor < entries.size() &&
+         entries[cursor].inject_tick() <= ctx_.now) {
+    const TraceEntry& e = entries[cursor++];
+    PendingPacket p;
+    p.packet_id = next_packet_id_++;
+    p.src_core = e.src;
+    p.dst_core = e.dst;
+    p.is_response = e.is_response;
+    p.size_flits = static_cast<std::uint16_t>(
+        e.is_response ? ctx_.config.response_size_flits
+                      : ctx_.config.request_size_flits);
+    p.inject_tick = ctx_.now;
+    const RouterId home = ctx_.topo->router_of_core(e.src);
+    nic(home).enqueue(p);
+    ++ctx_.metrics.packets_offered;
+    if (ctx_.observer != nullptr)
+      ctx_.observer->on_packet_offered(ctx_.now, e.src, e.dst, e.is_response);
+    if (gating) {
+      if (punch) {
+        secure_path(home, ctx_.topo->router_of_core(e.dst), ctx_.now);
+      } else {
+        secure(home, ctx_.now);
+      }
+    }
+  }
+}
+
+void Network::mature_nic(NetworkInterface& n, bool gating, bool punch) {
+  dsts_scratch_.clear();
+  const int matured = n.mature_responses(ctx_.now, &dsts_scratch_);
+  pending_responses_ -= static_cast<std::uint64_t>(matured);
+  ctx_.metrics.packets_offered += static_cast<std::uint64_t>(matured);
+  if (matured > 0 && gating) {
+    if (punch) {
+      for (CoreId dst : dsts_scratch_)
+        secure_path(n.router(), ctx_.topo->router_of_core(dst), ctx_.now);
+    } else {
+      secure(n.router(), ctx_.now);
+    }
+  }
+}
+
+void Network::step_router(std::size_t i, bool gating) {
+  Router& r = routers_[i];
+  ++edge_steps_;
+  r.account_until(ctx_.now);
+  r.pre_step(ctx_.now);
+  nics_[i].inject_into(r, ctx_.now);
+  r.pipeline_step(ctx_.now, *this);
+  r.post_step(ctx_.now, nics_[i].has_backlog());
+  if (gating && ctx_.policy->may_gate(r.id()) && r.can_gate(ctx_.now) &&
+      (ctx_.injector == nullptr || !ctx_.policy->gating_degraded(r.id()))) {
+    r.gate_off(ctx_.now);
+    if (ctx_.observer != nullptr) ctx_.observer->on_gate_off(ctx_.now, r.id());
+  }
+  r.advance_clock(ctx_.now);
+}
+
+}  // namespace dozz

@@ -5,13 +5,16 @@
 #include "src/ckpt/state_io.hpp"
 #include "src/common/error.hpp"
 #include "src/faults/fault_injector.hpp"
+#include "src/noc/sim_context.hpp"
+#include "src/topology/routing.hpp"
 
 namespace dozz {
 
 Router::Router(RouterId id, const Topology& topo, const NocConfig& config,
                const SimoLdoRegulator& regulator, EnergyAccountant accountant,
                VfMode initial_mode)
-    : id_(id), topo_(&topo), config_(&config), regulator_(&regulator),
+    : id_(id), topo_(&topo), config_(&config),
+      routing_(&routing_policy(config.routing)), regulator_(&regulator),
       mode_(initial_mode), accountant_(std::move(accountant)) {
   DOZZ_REQUIRE(config.vc_classes >= 1 &&
                config.vcs_per_port % config.vc_classes == 0);
@@ -38,6 +41,11 @@ Router::Router(RouterId id, const Topology& topo, const NocConfig& config,
   for (const auto& in : inputs_) total_capacity_ += in.total_capacity();
   next_edge_ = period();
 }
+
+Router::Router(RouterId id, const SimContext& ctx)
+    : Router(id, *ctx.topo, ctx.config, *ctx.regulator,
+             EnergyAccountant(*ctx.power, *ctx.regulator, ctx.ml_overhead),
+             ctx.policy->initial_mode()) {}
 
 Tick Router::total_off_ticks(Tick now) const {
   Tick total = accountant_.inactive_ticks();
@@ -124,7 +132,7 @@ void Router::drain_flits(Tick now) {
 int Router::compute_output_port(const Flit& flit) const {
   if (flit.dst_router == id_)
     return topo_->local_port(topo_->local_slot_of_core(flit.dst_core));
-  const auto dir = topo_->route(id_, flit.dst_router, config_->routing);
+  const auto dir = routing_->route(*topo_, id_, flit.dst_router);
   DOZZ_ASSERT(dir.has_value());
   return static_cast<int>(*dir);
 }
@@ -285,18 +293,22 @@ void Router::pipeline_step(Tick now, RouterEnvironment& env) {
 void Router::post_step(Tick now, bool nic_backlog) {
   if (state_ != RouterState::kActive) return;
   bool idle = !nic_backlog && inbound_inflight_ == 0;
-  int occupancy = 0;
+  // The aggregate occupancy is tracked incrementally (buffered_flits_), so
+  // the per-port VC scan below only feeds the per-port epoch stats and is
+  // skipped outright when nothing is buffered (every per-port occupancy is
+  // zero then; the EMA decay below still runs).
+  const int occupancy = buffered_flits_;
   const int capacity = total_capacity_;
-  if (buffered_flits_ != 0) {
+  if (occupancy != 0) {
+    int scanned = 0;
     for (std::size_t p = 0; p < inputs_.size(); ++p) {
       const int occ = inputs_[p].total_occupancy();
-      occupancy += occ;
+      scanned += occ;
       ep_port_occ_[p] += static_cast<std::uint64_t>(occ);
       if (occ > ep_port_peak_[p]) ep_port_peak_[p] = occ;
     }
+    DOZZ_ASSERT(scanned == occupancy);
   }
-  // (When nothing is buffered every per-port occupancy is zero, so the
-  // accumulate/peak loop is a no-op; the EMA decay below still runs.)
   ++ep_edges_;
   if (occupancy > 0) idle = false;
   idle_cycles_ = idle ? idle_cycles_ + 1 : 0;
@@ -438,19 +450,15 @@ void Router::accept_local(int port, int vc, Flit flit, Tick now) {
 double Router::epoch_ibu() const { return epoch_peak_ibu_; }
 
 double Router::epoch_mean_ibu() const {
-  return epoch_cap_ == 0 ? 0.0
-                         : static_cast<double>(epoch_occ_) /
-                               static_cast<double>(epoch_cap_);
+  return counter_ratio(epoch_occ_, epoch_cap_);
 }
 
 void Router::reset_epoch_window() {
   epoch_occ_ = 0;
   epoch_cap_ = 0;
   epoch_peak_ibu_ = 0.0;
-  std::fill(ep_port_occ_.begin(), ep_port_occ_.end(), 0);
-  std::fill(ep_port_peak_.begin(), ep_port_peak_.end(), 0);
-  std::fill(ep_port_arrivals_.begin(), ep_port_arrivals_.end(), 0);
-  std::fill(ep_port_departures_.begin(), ep_port_departures_.end(), 0);
+  zero_counters(ep_port_occ_, ep_port_peak_, ep_port_arrivals_,
+                ep_port_departures_);
   ep_edges_ = 0;
   ep_idle_edges_ = 0;
   ep_injected_ = 0;
@@ -473,18 +481,12 @@ void Router::epoch_counters_into(EpochCounters* out) const {
   c.port_arrivals.resize(ports);
   c.port_departures.resize(ports);
   for (std::size_t p = 0; p < ports; ++p) {
-    c.port_occ_mean[p] =
-        ep_edges_ == 0 ? 0.0
-                       : static_cast<double>(ep_port_occ_[p]) /
-                             static_cast<double>(ep_edges_);
+    c.port_occ_mean[p] = counter_ratio(ep_port_occ_[p], ep_edges_);
     c.port_occ_peak[p] = static_cast<double>(ep_port_peak_[p]);
     c.port_arrivals[p] = static_cast<double>(ep_port_arrivals_[p]);
     c.port_departures[p] = static_cast<double>(ep_port_departures_[p]);
   }
-  c.idle_fraction = ep_edges_ == 0
-                        ? 1.0
-                        : static_cast<double>(ep_idle_edges_) /
-                              static_cast<double>(ep_edges_);
+  c.idle_fraction = counter_ratio(ep_idle_edges_, ep_edges_, /*empty=*/1.0);
   c.edges = static_cast<double>(ep_edges_);
   c.injected = static_cast<double>(ep_injected_);
   c.ejected = static_cast<double>(ep_ejected_);
@@ -493,9 +495,7 @@ void Router::epoch_counters_into(EpochCounters* out) const {
 }
 
 double Router::lifetime_ibu() const {
-  return life_cap_ == 0 ? 0.0
-                        : static_cast<double>(life_occ_) /
-                              static_cast<double>(life_cap_);
+  return counter_ratio(life_occ_, life_cap_);
 }
 
 void Router::save_state(CkptWriter& w) const {

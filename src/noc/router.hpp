@@ -24,6 +24,11 @@
 #include "src/topology/topology.hpp"
 
 namespace dozz {
+class RoutingPolicy;
+struct SimContext;
+}
+
+namespace dozz {
 
 class CkptWriter;
 class CkptReader;
@@ -66,6 +71,11 @@ class Router {
   Router(RouterId id, const Topology& topo, const NocConfig& config,
          const SimoLdoRegulator& regulator, EnergyAccountant accountant,
          VfMode initial_mode);
+
+  /// Convenience wiring from the shared simulation context: topology,
+  /// config, regulator, accountant models and the policy's initial mode
+  /// all come from `ctx`.
+  Router(RouterId id, const SimContext& ctx);
 
   RouterId id() const { return id_; }
   int num_ports() const { return static_cast<int>(inputs_.size()); }
@@ -217,6 +227,7 @@ class Router {
   RouterId id_;
   const Topology* topo_;
   const NocConfig* config_;
+  const RoutingPolicy* routing_;  ///< resolved from config_->routing
   const SimoLdoRegulator* regulator_;
 
   std::array<RouterId, kNumDirections> neighbor_;  ///< -1 at mesh edges.

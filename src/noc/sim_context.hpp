@@ -1,0 +1,64 @@
+// SimContext: the one bundle of shared simulation services — configuration,
+// clock, stats sinks, power/regulator models, the fault injector and the
+// checkpoint hook — threaded through the engine loop and every extracted
+// phase (DESIGN.md §9). The Network owns exactly one; phases and extension
+// points read and write through it instead of reaching into Network
+// internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/common/stats.hpp"
+#include "src/common/time.hpp"
+#include "src/faults/fault_injector.hpp"
+#include "src/noc/noc_config.hpp"
+#include "src/noc/stats.hpp"
+#include "src/power/power_model.hpp"
+#include "src/regulator/simo_ldo.hpp"
+#include "src/topology/topology.hpp"
+
+namespace dozz {
+
+class EventObserver;
+class Network;
+
+/// Epoch-boundary checkpoint/interruption hook (see Network::set_epoch_hook).
+using EpochHook = std::function<bool(Network&, Tick, std::uint64_t)>;
+
+struct SimContext {
+  SimContext(const Topology& topo_in, const NocConfig& config_in,
+             PowerController& policy_in, const PowerModel& power_in,
+             const SimoLdoRegulator& regulator_in)
+      : topo(&topo_in), config(config_in), policy(&policy_in),
+        power(&power_in), regulator(&regulator_in),
+        ml_overhead(policy_in.label_feature_count()) {}
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  // --- Construction-time wiring (immutable for the run) ---
+  const Topology* topo;
+  NocConfig config;  ///< Owned copy; routers/NICs point into it.
+  PowerController* policy;
+  const PowerModel* power;
+  const SimoLdoRegulator* regulator;
+  MlOverheadModel ml_overhead;
+
+  /// Non-null only when config.faults.enabled; every hook checks this
+  /// pointer so fault-free runs skip the layer entirely. Owns the fault
+  /// RNG stream.
+  std::unique_ptr<FaultInjector> injector;
+  EventObserver* observer = nullptr;
+  EpochHook epoch_hook;
+
+  // --- Simulation clock ---
+  Tick now = 0;
+
+  // --- Stats sinks ---
+  NetworkMetrics metrics;
+  Histogram latency_hist{0.0, 4000.0, 8000};  ///< 0.5 ns bins.
+};
+
+}  // namespace dozz

@@ -1,0 +1,190 @@
+#include "src/sim/registries.hpp"
+
+#include "src/core/baselines.hpp"
+#include "src/sim/runner.hpp"
+#include "src/sim/setup.hpp"
+#include "src/topology/routing.hpp"
+#include "src/trafficgen/benchmarks.hpp"
+#include "src/trafficgen/fullsystem.hpp"
+
+namespace dozz {
+
+namespace {
+
+PolicySpec paper_policy(PolicyKind kind, std::string description) {
+  PolicySpec spec;
+  spec.description = std::move(description);
+  spec.uses_ml = policy_uses_ml(kind);
+  spec.paper_model = true;
+  spec.kind = kind;
+  spec.make = [kind](const PolicyParams& p) {
+    return make_policy(kind, p.num_routers, p.weights);
+  };
+  return spec;
+}
+
+Registry<PolicySpec> build_policy_registry() {
+  Registry<PolicySpec> reg("policy registry");
+  // The paper's five models, in presentation order — sweep_all enumerates
+  // these in registration order, so the order is part of the output
+  // contract.
+  reg.add("baseline",
+          paper_policy(PolicyKind::kBaseline,
+                       "always-on at the top mode (no savings)"));
+  reg.add("pg", paper_policy(PolicyKind::kPowerGate,
+                             "Power Punch-style power-gating only"));
+  reg.add("lead", paper_policy(PolicyKind::kLeadTau,
+                               "LEAD-tau: proactive ML DVFS, no gating"));
+  reg.add("dozznoc",
+          paper_policy(PolicyKind::kDozzNoc,
+                       "DozzNoC: ML DVFS + power-gating (the paper)"));
+  reg.add("turbo", paper_policy(PolicyKind::kMlTurbo,
+                                "ML+TURBO: DozzNoC with mid-mode forcing"));
+
+  // Extras beyond the paper's five.
+  {
+    PolicySpec spec;
+    spec.description = "reactive DVFS twin of DozzNoC (training-data model)";
+    spec.make = [](const PolicyParams& p) {
+      return make_reactive_twin(PolicyKind::kDozzNoc, p.num_routers);
+    };
+    reg.add("reactive", spec);
+  }
+  {
+    PolicySpec spec;
+    spec.description = "chip-wide voltage/frequency island (global DVFS)";
+    spec.make = [](const PolicyParams&) {
+      return std::make_unique<GlobalDvfsPolicy>(/*gating=*/true);
+    };
+    reg.add("vfi", spec);
+  }
+  {
+    PolicySpec spec;
+    spec.description = "router parking: gate only after consecutive "
+                       "silent epochs";
+    spec.make = [](const PolicyParams& p) {
+      return std::make_unique<RouterParkingPolicy>(p.num_routers);
+    };
+    reg.add("parking", spec);
+  }
+  {
+    PolicySpec spec;
+    spec.description = "posthoc oracle DVFS (recording pre-pass + replay)";
+    spec.two_pass_oracle = true;
+    reg.add("oracle", spec);
+  }
+  return reg;
+}
+
+/// Resolves an explicit --routing flag on a non-torus grid. Any registered
+/// algorithm is legal there (wrap-aware routing degenerates to XY on a
+/// mesh); unknown names throw with the available list.
+RoutingAlgorithm parse_routing_flag(const std::string& flag) {
+  const RoutingPolicy* rp = find_routing_policy(flag);
+  if (rp == nullptr)
+    throw RegistryError(
+        "--routing: unknown algorithm '" + flag +
+        "' (available: xy yx torus-xy)");
+  return rp->algorithm();
+}
+
+Registry<TopologySpec> build_topology_registry() {
+  Registry<TopologySpec> reg("topology registry");
+  {
+    TopologySpec spec;
+    spec.description = "8x8 mesh, 64 routers / 64 cores (paper Fig. 1b)";
+    spec.make = [] { return make_mesh(); };
+    spec.configure = [](NocConfig& noc, const std::string& routing_flag) {
+      if (!routing_flag.empty()) noc.routing = parse_routing_flag(routing_flag);
+    };
+    reg.add("mesh", spec);
+  }
+  {
+    TopologySpec spec;
+    spec.description =
+        "4x4 concentrated mesh, 16 routers / 64 cores (paper Fig. 1a)";
+    spec.make = [] { return make_cmesh(); };
+    spec.configure = [](NocConfig& noc, const std::string& routing_flag) {
+      if (!routing_flag.empty()) noc.routing = parse_routing_flag(routing_flag);
+    };
+    reg.add("cmesh", spec);
+  }
+  {
+    TopologySpec spec;
+    spec.description =
+        "8x8 torus (wraparound links; dateline VC classes, torus-xy routing)";
+    spec.make = [] { return make_torus(); };
+    spec.configure = [](NocConfig& noc, const std::string& routing_flag) {
+      // Dateline deadlock avoidance needs an escape VC class.
+      if (noc.vc_classes < 2) noc.vc_classes = 2;
+      if (routing_flag.empty()) {
+        noc.routing = RoutingAlgorithm::kTorusXY;
+        return;
+      }
+      const RoutingPolicy* rp = find_routing_policy(routing_flag);
+      if (rp == nullptr)
+        throw RegistryError(
+            "--routing: unknown algorithm '" + routing_flag +
+            "' (available: xy yx torus-xy)");
+      if (!rp->torus_aware())
+        throw ConfigError(
+            "--routing " + routing_flag +
+            " is not torus-aware; --topology torus needs --routing torus-xy "
+            "(or omit --routing for the default)");
+      noc.routing = rp->algorithm();
+    };
+    reg.add("torus", spec);
+  }
+  return reg;
+}
+
+Registry<TrafficSpec> build_traffic_registry() {
+  Registry<TrafficSpec> reg("traffic registry");
+  for (const BenchmarkProfile& profile : benchmark_profiles()) {
+    TrafficSpec spec;
+    spec.description = "synthetic PARSEC/SPLASH-2 stand-in benchmark";
+    const std::string name = profile.name;
+    spec.make = [name](const SimSetup& setup, double compression) {
+      return make_benchmark_trace(setup, name, compression);
+    };
+    reg.add(profile.name, spec);
+  }
+  for (const FullSystemProfile& profile : fullsystem_profiles()) {
+    TrafficSpec spec;
+    spec.description = "full-system cache/coherence traffic model";
+    const std::string name = profile.name;
+    spec.make = [name](const SimSetup& setup, double compression) {
+      Trace trace = generate_fullsystem_trace(
+          fullsystem_profile(name), setup.make_topology(),
+          setup.duration_cycles);
+      if (compression != 1.0) trace = trace.compressed(compression);
+      return trace;
+    };
+    reg.add(profile.name, spec);
+  }
+  return reg;
+}
+
+}  // namespace
+
+const Registry<PolicySpec>& policy_registry() {
+  static const Registry<PolicySpec> reg = build_policy_registry();
+  return reg;
+}
+
+const Registry<TopologySpec>& topology_registry() {
+  static const Registry<TopologySpec> reg = build_topology_registry();
+  return reg;
+}
+
+const Registry<TrafficSpec>& traffic_registry() {
+  static const Registry<TrafficSpec> reg = build_traffic_registry();
+  return reg;
+}
+
+void configure_topology(const std::string& topology,
+                        const std::string& routing_flag, NocConfig* noc) {
+  topology_registry().at(topology).configure(*noc, routing_flag);
+}
+
+}  // namespace dozz

@@ -1,0 +1,82 @@
+// Registry-driven extension points (DESIGN.md §9): policies, topologies
+// and traffic generators are looked up by name from ordered registries
+// instead of hard-coded if/else chains. The CLI's --policy/--topology/
+// --benchmark flags, the --list-* commands and sweep_all's enumeration all
+// read from here, so adding an entry is a registration-only change — no
+// edits in src/noc/ or the binaries.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/registry.hpp"
+#include "src/core/policies.hpp"
+#include "src/ml/ridge.hpp"
+#include "src/noc/noc_config.hpp"
+#include "src/topology/topology.hpp"
+#include "src/trafficgen/trace.hpp"
+
+namespace dozz {
+
+struct SimSetup;
+
+/// Everything a policy factory may need at construction time.
+struct PolicyParams {
+  int num_routers = 0;
+  /// Trained weights, for policies with uses_ml set.
+  std::optional<WeightVector> weights;
+};
+
+/// One --policy choice.
+struct PolicySpec {
+  std::string description;
+  /// Needs trained weights (PolicyParams::weights) at construction.
+  bool uses_ml = false;
+  /// One of the paper's five models (what sweep_all enumerates).
+  bool paper_model = false;
+  /// The PolicyKind, for paper models (training cache + batch jobs).
+  std::optional<PolicyKind> kind;
+  /// The oracle runs a recording pre-pass plus a replay run; it cannot be
+  /// built as a standalone controller, so `make` is null and callers
+  /// dispatch to run_oracle() instead.
+  bool two_pass_oracle = false;
+  std::function<std::unique_ptr<PowerController>(const PolicyParams&)> make;
+};
+
+/// One --topology choice.
+struct TopologySpec {
+  std::string description;
+  std::function<Topology()> make;
+  /// Applies the topology's configuration rules to `noc`: default routing
+  /// algorithm, VC classes, and validation of an explicit --routing flag
+  /// (`routing_flag` is the raw CLI value, empty when the flag was not
+  /// given). Throws ConfigError on an inconsistent combination.
+  std::function<void(NocConfig& noc, const std::string& routing_flag)>
+      configure;
+};
+
+/// One --benchmark / --fullsystem workload choice.
+struct TrafficSpec {
+  std::string description;
+  /// Generates the trace on the setup's topology covering the setup's
+  /// duration; `compression` scales injection times (kCompressedFactor for
+  /// the paper's compressed runs).
+  std::function<Trace(const SimSetup& setup, double compression)> make;
+};
+
+/// The process-wide registries (built once, registration order fixed: the
+/// paper's five policies first, mesh/cmesh/torus, benchmarks then
+/// full-system profiles).
+const Registry<PolicySpec>& policy_registry();
+const Registry<TopologySpec>& topology_registry();
+const Registry<TrafficSpec>& traffic_registry();
+
+/// Looks up `topology` and applies its configuration rules to `*noc`
+/// (routing default/validation, VC classes). Throws RegistryError for an
+/// unknown topology and ConfigError for an inconsistent --routing flag.
+void configure_topology(const std::string& topology,
+                        const std::string& routing_flag, NocConfig* noc);
+
+}  // namespace dozz

@@ -2,7 +2,15 @@
 
 #include <cstdlib>
 
+#include "src/sim/registries.hpp"
+
 namespace dozz {
+
+Topology SimSetup::make_topology() const {
+  if (!topology.empty()) return topology_registry().at(topology).make();
+  if (torus) return make_torus();
+  return cmesh ? make_cmesh() : make_mesh();
+}
 
 std::uint64_t quick_divisor() {
   static const std::uint64_t divisor = []() -> std::uint64_t {

@@ -19,6 +19,10 @@ struct SimSetup {
   bool cmesh = false;  ///< false: 8x8 mesh; true: 4x4 concentrated mesh.
   bool torus = false;  ///< 8x8 torus (set noc.vc_classes = 2; overrides
                        ///< cmesh).
+  /// Topology-registry name ("mesh", "cmesh", "torus", ...). When set it
+  /// overrides the legacy booleans above; configure with
+  /// configure_topology() so routing/VC-class rules apply.
+  std::string topology;
   NocConfig noc;
   std::uint64_t duration_cycles = 60000;  ///< Run window, baseline cycles.
   /// Paper methodology: run each trace to completion, so a slower policy
@@ -26,10 +30,9 @@ struct SimSetup {
   /// static-energy numbers measure). When false, runs a fixed window.
   bool run_to_drain = false;
 
-  Topology make_topology() const {
-    if (torus) return make_torus();
-    return cmesh ? make_cmesh() : make_mesh();
-  }
+  /// Builds the topology: by registry name when `topology` is set, from
+  /// the legacy booleans otherwise.
+  Topology make_topology() const;
 
   Tick end_tick() const { return duration_cycles * kBaselinePeriodTicks; }
 

@@ -1,0 +1,46 @@
+// Routing as an interface: each RoutingAlgorithm enum value is backed by a
+// stateless RoutingPolicy singleton that routers consult for the next hop.
+// New algorithms register here (and in the enum, which the checkpoint
+// format serializes as a u8) without touching src/noc/ (DESIGN.md §9).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/topology/topology.hpp"
+
+namespace dozz {
+
+/// A deterministic routing algorithm. Implementations are stateless
+/// singletons; `route` must be minimal and deadlock free on the
+/// topologies it claims to support (`torus_aware`).
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// CLI / report name ("xy", "yx", "torus-xy").
+  virtual const char* name() const = 0;
+
+  /// The enum value this policy implements (checkpoint serialization and
+  /// NocConfig storage still use the enum).
+  virtual RoutingAlgorithm algorithm() const = 0;
+
+  /// True when the algorithm routes minimally across wraparound links and
+  /// cooperates with dateline VC classes, i.e. is safe on a torus.
+  virtual bool torus_aware() const = 0;
+
+  /// Output direction for a packet at `current` heading to `dest`, or
+  /// nullopt when current == dest (eject locally).
+  virtual std::optional<Direction> route(const Topology& topo,
+                                         RouterId current,
+                                         RouterId dest) const = 0;
+};
+
+/// Singleton policy for an enum value; never fails.
+const RoutingPolicy& routing_policy(RoutingAlgorithm algo);
+
+/// Looks up a policy by CLI name ("xy", "yx", "torus-xy"); nullptr when
+/// unknown.
+const RoutingPolicy* find_routing_policy(const std::string& name);
+
+}  // namespace dozz

@@ -17,7 +17,12 @@ Direction opposite(Direction d) {
 }
 
 const char* routing_name(RoutingAlgorithm algo) {
-  return algo == RoutingAlgorithm::kXY ? "XY" : "YX";
+  switch (algo) {
+    case RoutingAlgorithm::kXY: return "XY";
+    case RoutingAlgorithm::kYX: return "YX";
+    case RoutingAlgorithm::kTorusXY: return "TorusXY";
+  }
+  DOZZ_ASSERT(false);
 }
 
 const char* direction_name(Direction d) {
@@ -159,8 +164,10 @@ std::optional<Direction> Topology::route_yx(RouterId current,
 
 std::optional<Direction> Topology::route(RouterId current, RouterId dest,
                                          RoutingAlgorithm algo) const {
-  return algo == RoutingAlgorithm::kXY ? route_xy(current, dest)
-                                       : route_yx(current, dest);
+  // kTorusXY shares the XY path: route_xy already resolves wraparound via
+  // the topology's wrap flag, so the enum value only gates validation.
+  return algo == RoutingAlgorithm::kYX ? route_yx(current, dest)
+                                       : route_xy(current, dest);
 }
 
 std::optional<RouterId> Topology::next_hop(RouterId current, RouterId dest,

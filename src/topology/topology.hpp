@@ -34,8 +34,10 @@ const char* direction_name(Direction d);
 /// free; the power-gating scheme only needs the next hop to be computable
 /// in advance (paper Sec. III-A), which any deterministic algorithm gives.
 enum class RoutingAlgorithm : std::uint8_t {
-  kXY = 0,  ///< Resolve X first, then Y (the paper's choice).
-  kYX = 1,  ///< Resolve Y first, then X.
+  kXY = 0,       ///< Resolve X first, then Y (the paper's choice).
+  kYX = 1,       ///< Resolve Y first, then X.
+  kTorusXY = 2,  ///< XY with shortest-way wraparound; requires a torus
+                 ///< topology and >= 2 VC classes for deadlock freedom.
 };
 
 const char* routing_name(RoutingAlgorithm algo);

@@ -1,0 +1,152 @@
+// Tests for the generic Registry template and the concrete policy /
+// topology / traffic registries behind the CLI and sweep enumeration.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/registry.hpp"
+#include "src/sim/registries.hpp"
+#include "src/sim/setup.hpp"
+
+namespace dozz {
+namespace {
+
+TEST(Registry, PreservesRegistrationOrder) {
+  Registry<int> reg("test registry");
+  reg.add("b", 2);
+  reg.add("a", 1);
+  reg.add("c", 3);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"b", "a", "c"}));
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.at("a"), 1);
+  EXPECT_EQ(reg.at("c"), 3);
+}
+
+TEST(Registry, DuplicateRegistrationThrows) {
+  Registry<int> reg("test registry");
+  reg.add("mesh", 1);
+  try {
+    reg.add("mesh", 2);
+    FAIL() << "expected RegistryError";
+  } catch (const RegistryError& e) {
+    EXPECT_NE(std::string(e.what()).find("test registry"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("mesh"), std::string::npos);
+  }
+}
+
+TEST(Registry, UnknownLookupNamesRegistryAndListsEntries) {
+  Registry<int> reg("policy registry");
+  reg.add("baseline", 0);
+  reg.add("pg", 1);
+  try {
+    (void)reg.at("nosuch");
+    FAIL() << "expected RegistryError";
+  } catch (const RegistryError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("policy registry"), std::string::npos);
+    EXPECT_NE(msg.find("nosuch"), std::string::npos);
+    EXPECT_NE(msg.find("baseline"), std::string::npos);
+    EXPECT_NE(msg.find("pg"), std::string::npos);
+  }
+}
+
+TEST(Registry, ContainsAndIteration) {
+  Registry<std::string> reg("traffic registry");
+  reg.add("x264", "video");
+  reg.add("lu", "math");
+  EXPECT_TRUE(reg.contains("x264"));
+  EXPECT_FALSE(reg.contains("vips"));
+  std::string joined;
+  for (const auto& [name, tag] : reg) joined += name + ":" + tag + ";";
+  EXPECT_EQ(joined, "x264:video;lu:math;");
+}
+
+// --- The concrete registries behind the CLI / sweep_all ---
+
+TEST(PolicyRegistry, PaperModelsFirstInPresentationOrder) {
+  // sweep_all's output order is derived from this: the paper's five
+  // models must come first, in the paper's presentation order.
+  const auto names = policy_registry().names();
+  ASSERT_GE(names.size(), 5u);
+  EXPECT_EQ(names[0], "baseline");
+  EXPECT_EQ(names[1], "pg");
+  EXPECT_EQ(names[2], "lead");
+  EXPECT_EQ(names[3], "dozznoc");
+  EXPECT_EQ(names[4], "turbo");
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_TRUE(policy_registry().at(names[i]).paper_model) << names[i];
+}
+
+TEST(PolicyRegistry, FactoriesBuildWorkingControllers) {
+  PolicyParams params;
+  params.num_routers = 16;
+  for (const auto& [name, spec] : policy_registry()) {
+    if (spec.two_pass_oracle) {
+      EXPECT_EQ(spec.make, nullptr) << name;
+      continue;
+    }
+    ASSERT_NE(spec.make, nullptr) << name;
+    if (spec.uses_ml) continue;  // needs trained weights; covered elsewhere
+    auto policy = spec.make(params);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_FALSE(policy->name().empty()) << name;
+  }
+}
+
+TEST(TopologyRegistry, BuildsEveryRegisteredTopology) {
+  for (const auto& [name, spec] : topology_registry()) {
+    const Topology topo = spec.make();
+    EXPECT_GT(topo.num_routers(), 0) << name;
+    EXPECT_EQ(topo.num_cores(), 64) << name;  // all presets are 64-core
+  }
+}
+
+TEST(TopologyRegistry, TorusDefaultsToWrapAwareRoutingAndTwoVcClasses) {
+  NocConfig noc;
+  configure_topology("torus", /*routing_flag=*/"", &noc);
+  EXPECT_EQ(noc.routing, RoutingAlgorithm::kTorusXY);
+  EXPECT_GE(noc.vc_classes, 2);
+}
+
+TEST(TopologyRegistry, TorusRejectsNonWrapAwareRoutingByFlagName) {
+  NocConfig noc;
+  try {
+    configure_topology("torus", "xy", &noc);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--routing xy"), std::string::npos);
+    EXPECT_NE(msg.find("torus-xy"), std::string::npos);
+  }
+  EXPECT_THROW(configure_topology("torus", "yx", &noc), ConfigError);
+  EXPECT_NO_THROW(configure_topology("torus", "torus-xy", &noc));
+}
+
+TEST(TopologyRegistry, MeshAcceptsAnyKnownRoutingRejectsUnknown) {
+  NocConfig noc;
+  configure_topology("mesh", "yx", &noc);
+  EXPECT_EQ(noc.routing, RoutingAlgorithm::kYX);
+  configure_topology("mesh", "torus-xy", &noc);
+  EXPECT_EQ(noc.routing, RoutingAlgorithm::kTorusXY);
+  EXPECT_THROW(configure_topology("mesh", "zigzag", &noc), RegistryError);
+  EXPECT_THROW(configure_topology("nosuch", "", &noc), RegistryError);
+}
+
+TEST(TrafficRegistry, GeneratesTracesOnTheSetupTopology) {
+  SimSetup setup;
+  setup.duration_cycles = 3000;
+  ASSERT_TRUE(traffic_registry().contains("x264"));
+  ASSERT_TRUE(traffic_registry().contains("fs-balanced"));
+  const Trace bench = traffic_registry().at("x264").make(setup, 1.0);
+  EXPECT_GT(bench.size(), 0u);
+  const Trace fs = traffic_registry().at("fs-balanced").make(setup, 1.0);
+  EXPECT_GT(fs.size(), 0u);
+  // Compressed benchmark runs stretch the generation window so the trace
+  // still spans the whole run at 4x the offered load (see
+  // make_benchmark_trace): more packets, not a shorter span.
+  const Trace squeezed = traffic_registry().at("x264").make(setup, 0.25);
+  EXPECT_GT(squeezed.size(), bench.size());
+}
+
+}  // namespace
+}  // namespace dozz
