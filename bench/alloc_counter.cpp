@@ -1,0 +1,69 @@
+// Counting replacements for the global allocation functions (linked into
+// benchmark binaries only; see alloc_counter.hpp). Plain counters are
+// enough: the benchmarks are single-threaded.
+#include "bench/alloc_counter.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace dozz::bench {
+namespace {
+std::uint64_t g_allocs = 0;
+}  // namespace
+
+std::uint64_t alloc_count() { return g_allocs; }
+
+}  // namespace dozz::bench
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ++dozz::bench::g_allocs;
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ++dozz::bench::g_allocs;
+  if (size == 0) size = align;
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size) != 0) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++dozz::bench::g_allocs;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++dozz::bench::g_allocs;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

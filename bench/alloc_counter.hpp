@@ -1,0 +1,18 @@
+// Heap allocation counter for benchmark binaries.
+//
+// Linking alloc_counter.cpp into a binary replaces the global operator
+// new/delete with counting versions; alloc_count() then returns the number
+// of heap allocations made so far. Benchmarks snapshot it around a
+// measurement window to prove a code path allocation-free (the micro-sim
+// bench reports steady-state allocations per kernel event this way).
+// Bench-only: the simulator libraries are never built with this TU.
+#pragma once
+
+#include <cstdint>
+
+namespace dozz::bench {
+
+/// Number of global operator new / new[] calls since process start.
+std::uint64_t alloc_count();
+
+}  // namespace dozz::bench

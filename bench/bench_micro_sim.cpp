@@ -5,6 +5,7 @@
 
 #include <sstream>
 
+#include "bench/alloc_counter.hpp"
 #include "src/core/policies.hpp"
 #include "src/ml/mlp.hpp"
 #include "src/ml/ridge.hpp"
@@ -21,6 +22,38 @@
 namespace {
 
 using namespace dozz;
+
+/// Measures heap allocations across the steady-state portion of one run:
+/// the window between the second and the last epoch boundary, i.e. after
+/// the ring buffers, event wheel, recycled overflow nodes and response
+/// heap have grown to their working sizes. The stepping benchmarks report
+/// the result as steady_allocs/event, which the zero-allocation hot path
+/// keeps at 0.
+struct SteadyAllocWindow {
+  static constexpr int kWarmupEpochs = 2;
+
+  std::uint64_t start_allocs = 0;
+  std::uint64_t start_events = 0;
+  std::uint64_t end_allocs = 0;
+  std::uint64_t end_events = 0;
+  int boundaries = 0;
+
+  void install(Network& net) {
+    net.set_epoch_hook([this](Network& n, Tick, std::uint64_t) {
+      const std::uint64_t a = bench::alloc_count();
+      const std::uint64_t e = n.kernel_events();
+      if (++boundaries <= kWarmupEpochs) {
+        start_allocs = a;
+        start_events = e;
+      }
+      end_allocs = a;
+      end_events = e;
+      return true;
+    });
+  }
+  std::uint64_t allocs() const { return end_allocs - start_allocs; }
+  std::uint64_t events() const { return end_events - start_events; }
+};
 
 /// Shared body of the mesh stepping benchmarks: `legacy` selects the
 /// retired linear-scan kernel so its throughput can be compared against
@@ -40,13 +73,19 @@ void run_mesh_step(benchmark::State& state, bool legacy) {
   std::uint64_t delivered = 0;
   std::uint64_t events = 0;
   std::uint64_t steps = 0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_events = 0;
   for (auto _ : state) {
     BaselinePolicy policy;
     Network net(topo, config, policy, power, regulator);
+    SteadyAllocWindow window;
+    window.install(net);
     net.run(trace, cycles * kBaselinePeriodTicks);
     delivered += net.metrics().flits_delivered;
     events += net.kernel_events();
     steps += net.edge_steps();
+    steady_allocs += window.allocs();
+    steady_events += window.events();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(
       state.iterations() * cycles * static_cast<std::uint64_t>(
@@ -57,6 +96,10 @@ void run_mesh_step(benchmark::State& state, bool legacy) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["edge_steps/s"] = benchmark::Counter(
       static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["steady_allocs/event"] =
+      steady_events == 0 ? 0.0
+                         : static_cast<double>(steady_allocs) /
+                               static_cast<double>(steady_events);
 }
 
 void BM_NetworkStep_Mesh8x8(benchmark::State& state) {
@@ -83,13 +126,19 @@ void run_power_gated_step(benchmark::State& state, bool legacy) {
       topo, uniform_pattern(topo.num_cores()), 0.005, cycles, 42);
   std::uint64_t events = 0;
   std::uint64_t steps = 0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steady_events = 0;
   for (auto _ : state) {
     PowerGatePolicy policy;
     Network net(topo, config, policy, power, regulator);
+    SteadyAllocWindow window;
+    window.install(net);
     net.run(trace, cycles * kBaselinePeriodTicks);
     benchmark::DoNotOptimize(net.metrics().packets_delivered);
     events += net.kernel_events();
     steps += net.edge_steps();
+    steady_allocs += window.allocs();
+    steady_events += window.events();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(
       state.iterations() * cycles * static_cast<std::uint64_t>(
@@ -98,6 +147,10 @@ void run_power_gated_step(benchmark::State& state, bool legacy) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["edge_steps/s"] = benchmark::Counter(
       static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["steady_allocs/event"] =
+      steady_events == 0 ? 0.0
+                         : static_cast<double>(steady_allocs) /
+                               static_cast<double>(steady_events);
 }
 
 void BM_NetworkStep_PowerGated(benchmark::State& state) {

@@ -1,0 +1,174 @@
+// Performance regression gate over the micro-sim benchmarks (registered as
+// the `perf_smoke` ctest). Runs bench_micro_sim on two pinned stepping
+// configurations, extracts their events/s counters from the JSON report,
+// writes the fresh numbers to BENCH_micro.json in the working directory,
+// and fails if any config regressed more than 20% below the committed
+// baseline (bench/BENCH_micro.json in the source tree).
+//
+//   bench_perf_gate <bench_micro_sim-path> <baseline-json-path>
+//
+// Behavior:
+//   - No baseline file        -> prints a notice and exits 0 (skip).
+//   - DOZZ_REGEN_BENCH set    -> rewrites the baseline with the fresh
+//                                numbers and exits 0 (commit the result
+//                                after intentional perf changes or when
+//                                moving to a new reference machine).
+//   - Otherwise               -> exit 1 on >20% events/s regression.
+//
+// The baseline is machine-specific by nature; the 20% tolerance absorbs
+// normal scheduler noise on the reference machine while still catching the
+// kind of structural regression (an allocation or a lookup reintroduced on
+// the hot path) this gate exists for.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Entry {
+  std::string name;
+  double events_per_s = 0.0;
+};
+
+// The two pinned configs: the loaded uniform-traffic mesh and the mostly
+// idle power-gated mesh — together they cover the busy hot path and the
+// idle fast paths.
+const char* kPinned[] = {"BM_NetworkStep_Mesh8x8/20",
+                         "BM_NetworkStep_PowerGated"};
+
+/// Pulls the number that follows `"key": ` after position `from`.
+/// Returns NaN-free 0.0 sentinel via `ok=false` when absent.
+double number_after(const std::string& text, const std::string& key,
+                    std::size_t from, std::size_t until, bool& ok) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= until) {
+    ok = false;
+    return 0.0;
+  }
+  ok = true;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+/// Extracts events/s for each pinned benchmark from a google-benchmark
+/// JSON report (counters appear as plain keys in each benchmark object).
+std::vector<Entry> parse_report(const std::string& text) {
+  std::vector<Entry> out;
+  for (const char* name : kPinned) {
+    const std::string tag = std::string("\"name\": \"") + name + "\"";
+    const std::size_t at = text.find(tag);
+    if (at == std::string::npos) continue;
+    // The counter lives inside this benchmark's object: stop the search at
+    // the next "name" field so a missing counter cannot match a later one.
+    std::size_t until = text.find("\"name\":", at + tag.size());
+    if (until == std::string::npos) until = text.size();
+    bool ok = false;
+    const double v = number_after(text, "events/s", at, until, ok);
+    if (ok) out.push_back({name, v});
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_results(const std::string& path, const std::vector<Entry>& rows) {
+  std::ofstream out(path);
+  out << "{\n";
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    out << "  \"" << rows[i].name << "\": {\"events_per_s\": "
+        << rows[i].events_per_s << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: bench_perf_gate <bench_micro_sim> <baseline.json>\n");
+    return 2;
+  }
+  const std::string bench = argv[1];
+  const std::string baseline_path = argv[2];
+  const std::string report_path = "perf_gate_report.json";
+
+  const std::string cmd =
+      "\"" + bench +
+      "\" --benchmark_filter='^BM_NetworkStep_Mesh8x8/20$|"
+      "^BM_NetworkStep_PowerGated$' --benchmark_min_time=0.5 "
+      "--benchmark_out_format=json --benchmark_out=" +
+      report_path + " > /dev/null";
+  if (std::system(cmd.c_str()) != 0) {
+    std::fprintf(stderr, "perf_gate: benchmark run failed: %s\n",
+                 cmd.c_str());
+    return 1;
+  }
+
+  const std::vector<Entry> fresh = parse_report(read_file(report_path));
+  if (fresh.size() != sizeof(kPinned) / sizeof(kPinned[0])) {
+    std::fprintf(stderr,
+                 "perf_gate: expected %zu pinned configs in the report, "
+                 "parsed %zu\n",
+                 sizeof(kPinned) / sizeof(kPinned[0]), fresh.size());
+    return 1;
+  }
+  write_results("BENCH_micro.json", fresh);
+  for (const Entry& e : fresh)
+    std::printf("perf_gate: %-28s %12.0f events/s\n", e.name.c_str(),
+                e.events_per_s);
+
+  if (std::getenv("DOZZ_REGEN_BENCH") != nullptr) {
+    write_results(baseline_path, fresh);
+    std::printf("perf_gate: baseline regenerated at %s\n",
+                baseline_path.c_str());
+    return 0;
+  }
+
+  const std::string baseline_text = read_file(baseline_path);
+  if (baseline_text.empty()) {
+    std::printf(
+        "perf_gate: no baseline at %s; skipping the regression check "
+        "(set DOZZ_REGEN_BENCH=1 to create one)\n",
+        baseline_path.c_str());
+    return 0;
+  }
+
+  constexpr double kTolerance = 0.20;
+  bool failed = false;
+  for (const Entry& e : fresh) {
+    bool ok = false;
+    const std::size_t at = baseline_text.find("\"" + e.name + "\"");
+    if (at == std::string::npos) {
+      std::printf("perf_gate: %s missing from baseline; skipping it\n",
+                  e.name.c_str());
+      continue;
+    }
+    const double base = number_after(baseline_text, "events_per_s", at,
+                                     baseline_text.size(), ok);
+    if (!ok || base <= 0.0) continue;
+    const double floor = base * (1.0 - kTolerance);
+    std::printf("perf_gate: %-28s baseline %12.0f, floor %12.0f -> %s\n",
+                e.name.c_str(), base, floor,
+                e.events_per_s >= floor ? "ok" : "REGRESSED");
+    if (e.events_per_s < floor) failed = true;
+  }
+  if (failed) {
+    std::fprintf(stderr,
+                 "perf_gate: events/s regressed more than %.0f%% below the "
+                 "committed baseline; if intentional, regenerate with "
+                 "DOZZ_REGEN_BENCH=1 ctest -L perf_smoke\n",
+                 kTolerance * 100);
+    return 1;
+  }
+  return 0;
+}

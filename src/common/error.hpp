@@ -25,6 +25,14 @@ class InputError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a routing step cannot make forward progress — a corrupted
+/// next-hop table or a destination the algorithm cannot reach. The message
+/// names the path's src/dst and the router where the walk stopped.
+class RoutingError : public InvariantError {
+ public:
+  using InvariantError::InvariantError;
+};
+
 /// Thrown by the no-progress watchdog when a simulation stops making
 /// forward progress (no flit ejected for the configured number of epochs
 /// while packets are still outstanding) — a livelock/deadlock diagnosis

@@ -5,9 +5,8 @@
 // router's frequency" semantics fall out naturally.
 #pragma once
 
-#include <deque>
-
 #include "src/common/error.hpp"
+#include "src/common/ring_buffer.hpp"
 #include "src/common/time.hpp"
 #include "src/noc/flit.hpp"
 
@@ -28,6 +27,8 @@ struct TimedCredit {
 };
 
 /// FIFO of timed entries; arrival times are nondecreasing per channel.
+/// Backed by a growable ring: once the channel has seen its high-water
+/// occupancy, push/pop no longer allocate.
 template <typename Entry>
 class TimedChannel {
  public:
@@ -51,14 +52,18 @@ class TimedChannel {
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
 
+  /// Pre-sizes the ring so pushes up to `n` in-flight entries never
+  /// allocate. Credit flow control bounds channel occupancy by the
+  /// receiver's buffer capacity, so callers can size this exactly.
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
   /// In-flight entries, oldest first (checkpoint/restore).
-  const std::deque<Entry>& entries() const { return entries_; }
-  void restore_entries(std::deque<Entry> entries) {
-    entries_ = std::move(entries);
-  }
+  const RingBuffer<Entry>& entries() const { return entries_; }
+  /// Drops all in-flight entries (checkpoint restore repopulates via push).
+  void clear() { entries_.clear(); }
 
  private:
-  std::deque<Entry> entries_;
+  RingBuffer<Entry> entries_;
 };
 
 using FlitChannel = TimedChannel<TimedFlit>;

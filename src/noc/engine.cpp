@@ -265,6 +265,9 @@ Tick Network::run_loop_indexed(const Trace& trace, Tick end_tick,
       }
       edge_sched_.pop_front();
     }
+    // Every due bucket is consumed, so all remaining scheduled ticks are
+    // in the future: move the wheel window up to the clock.
+    edge_sched_.advance_to(ctx_.now);
     if (!std::is_sorted(due.begin(), due.end()))
       std::sort(due.begin(), due.end());
     due.erase(std::unique(due.begin(), due.end()), due.end());

@@ -1,21 +1,35 @@
-// Calendar-style event schedule for the indexed simulation kernel.
+// Tick-wheel event schedule for the indexed simulation kernel.
 //
 // Router clock edges cluster on a handful of distinct ticks (routers in
-// the same V/F mode share a period), so the kernel's access pattern is
-// bursts of pushes at one or two ticks per event followed by consumption
-// of whole buckets in tick order. A binary heap pays O(log n) per entry
-// for that; this tick-bucketed multimap pays amortized O(1): pushes to
-// the most recent tick hit a cached bucket, and map nodes plus bucket
-// storage are recycled, so steady-state operation allocates nothing.
+// the same V/F mode share a period), and almost every scheduled tick lives
+// within one clock period of the current time — at most 9000 ticks ahead
+// (the slowest V/F mode). A std::map calendar pays node traversal and
+// rebalancing for that; this wheel is a flat circular array of 2^14 tick
+// slots covering the whole period horizon, so push, front and pop are
+// array indexing plus a bitmap scan. The rare far-future event (a wakeup
+// penalty lands ~160k ticks out) goes to an overflow map with recycled
+// nodes and migrates into the wheel as the window advances.
+//
+// Window invariants: the engine calls advance_to(now) once per event after
+// consuming every due bucket, so `base_` tracks the simulation clock and
+// only ever advances; every wheel-resident tick t satisfies
+// base_ <= t < base_ + kWindow (pushes are always >= now >= base_, and
+// far ticks go to overflow). Two live wheel ticks therefore can never be
+// kWindow apart, which makes slot collisions impossible and makes a
+// circular bitmap scan from base_'s slot visit slots in tick order.
 //
 // Entries use the kernel's lazy-invalidation discipline: the schedule
 // never removes an entry when its owner reschedules — the caller
 // validates entries against the owner's live tick when reading a bucket.
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <map>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/common/time.hpp"
 #include "src/topology/topology.hpp"
 
@@ -23,53 +37,206 @@ namespace dozz {
 
 class EventSchedule {
  public:
+  EventSchedule() : slots_(kWindow) {}
+
+  /// Copy/move would have to preserve the bitmap/slot aliasing; the
+  /// network never needs them.
+  EventSchedule(const EventSchedule&) = delete;
+  EventSchedule& operator=(const EventSchedule&) = delete;
+
   void push(Tick tick, RouterId id) {
-    if (tick != cached_tick_) {
-      auto it = buckets_.lower_bound(tick);
-      if (it == buckets_.end() || it->first != tick) {
-        if (spare_.empty()) {
-          it = buckets_.emplace_hint(it, tick, std::vector<RouterId>());
-        } else {
-          auto node = std::move(spare_.back());
-          spare_.pop_back();
-          node.key() = tick;
-          node.mapped().clear();
-          it = buckets_.insert(it, std::move(node));
-        }
-      }
-      cached_tick_ = tick;
-      cached_ = &it->second;
+    if (tick >= base_ + kWindow) {
+      push_overflow(tick, id);
+      return;
     }
-    cached_->push_back(id);
+    place(tick, id);
   }
 
-  bool empty() const { return buckets_.empty(); }
-  Tick front_tick() const { return buckets_.begin()->first; }
-  std::vector<RouterId>& front_bucket() { return buckets_.begin()->second; }
+  bool empty() const { return occupied_ == 0 && overflow_.empty(); }
 
-  /// Discards the front bucket, recycling its node and storage.
+  Tick front_tick() const {
+    const Tick ov =
+        overflow_.empty() ? kInfTick : overflow_.begin()->first;
+    return front_tick_ < ov ? front_tick_ : ov;
+  }
+
+  std::vector<RouterId>& front_bucket() {
+    if (front_is_wheel()) return slots_[slot_of(front_tick_)].ids;
+    return overflow_.begin()->second;
+  }
+
+  /// Discards the front bucket, recycling its storage.
   void pop_front() {
-    if (cached_ == &buckets_.begin()->second) {
-      cached_ = nullptr;
-      cached_tick_ = kNoTick;
-    }
-    if (spare_.size() < kMaxSpare) {
-      spare_.push_back(buckets_.extract(buckets_.begin()));
+    if (front_is_wheel()) {
+      const std::size_t slot = slot_of(front_tick_);
+      const std::size_t word = slot / 64;
+      Slot& s = slots_[slot];
+      s.ids.clear();
+      // Recycle the bucket's grown storage: the wheel keeps touching fresh
+      // slots as time advances, and handing each one a warmed vector from
+      // the pool keeps the steady state allocation-free.
+      if (s.ids.capacity() != 0 && pool_.size() < kMaxPool)
+        pool_.push_back(std::move(s.ids));
+      occ_bits_[word] &= ~(std::uint64_t{1} << (slot % 64));
+      if (occ_bits_[word] == 0)
+        summary_[word / 64] &= ~(std::uint64_t{1} << (word % 64));
+      --occupied_;
+      recompute_front();
     } else {
-      buckets_.erase(buckets_.begin());
+      recycle(overflow_.extract(overflow_.begin()));
+    }
+  }
+
+  /// Pre-warms the recycled-storage pools: bucket vectors sized for
+  /// `bucket_ids` entries (typically the router count) and the overflow
+  /// spare nodes. After this, steady-state push/pop cycles allocate
+  /// nothing — without it the pools still converge, just over the first
+  /// few thousand events as buckets regrow to their working sizes.
+  void warm(std::size_t bucket_ids) {
+    pool_.reserve(kMaxPool);
+    while (pool_.size() < kMaxPool) {
+      std::vector<RouterId> v;
+      v.reserve(bucket_ids);
+      pool_.push_back(std::move(v));
+    }
+    spare_.reserve(kMaxSpare);
+    while (spare_.size() < kMaxSpare) {
+      OverflowMap tmp;
+      const auto it = tmp.emplace(0, std::vector<RouterId>()).first;
+      it->second.reserve(bucket_ids);
+      spare_.push_back(tmp.extract(it));
+    }
+  }
+
+  /// Moves the wheel window up to the simulation clock and pulls newly
+  /// in-window overflow entries into the wheel. The engine calls this once
+  /// per event, after consuming every due bucket, so all wheel residents
+  /// stay at or above base_.
+  void advance_to(Tick now) {
+    if (now <= base_) return;
+    base_ = now;
+    while (!overflow_.empty() && overflow_.begin()->first < base_ + kWindow) {
+      auto node = overflow_.extract(overflow_.begin());
+      for (const RouterId id : node.mapped()) place(node.key(), id);
+      recycle(std::move(node));
     }
   }
 
  private:
-  // kInfTick is never pushed (infinite edges are simply not scheduled), so
-  // it doubles as the "no cached bucket" sentinel.
-  static constexpr Tick kNoTick = kInfTick;
-  static constexpr std::size_t kMaxSpare = 8;
+  struct Slot {
+    Tick tick = 0;  ///< Full tick this slot holds (valid while occupied).
+    std::vector<RouterId> ids;
+  };
+  using OverflowMap = std::map<Tick, std::vector<RouterId>>;
 
-  std::map<Tick, std::vector<RouterId>> buckets_;
-  std::vector<std::map<Tick, std::vector<RouterId>>::node_type> spare_;
-  Tick cached_tick_ = kNoTick;
-  std::vector<RouterId>* cached_ = nullptr;
+  // 2^14 = 16384 slots: larger than the slowest clock period (9000 ticks)
+  // with slack for base_ lagging the clock by one event, small enough to
+  // stay memory-cheap (the slot array is ~400 KiB per network).
+  static constexpr Tick kWindow = 1u << 14;
+  static constexpr std::size_t kWords = kWindow / 64;          // 256
+  static constexpr std::size_t kSummaryWords = kWords / 64;    // 4
+  static constexpr std::size_t kMaxSpare = 64;
+  static constexpr std::size_t kMaxPool = 64;
+
+  static std::size_t slot_of(Tick tick) {
+    return static_cast<std::size_t>(tick & (kWindow - 1));
+  }
+
+  bool front_is_wheel() const {
+    return front_tick_ <
+           (overflow_.empty() ? kInfTick : overflow_.begin()->first);
+  }
+
+  bool occupied_bit(std::size_t slot) const {
+    return (occ_bits_[slot / 64] >> (slot % 64)) & 1u;
+  }
+
+  /// Inserts into the wheel; `tick` must be inside [base_, base_+kWindow).
+  void place(Tick tick, RouterId id) {
+    DOZZ_ASSERT(tick >= base_);
+    const std::size_t slot = slot_of(tick);
+    Slot& s = slots_[slot];
+    if (!occupied_bit(slot)) {
+      const std::size_t word = slot / 64;
+      occ_bits_[word] |= std::uint64_t{1} << (slot % 64);
+      summary_[word / 64] |= std::uint64_t{1} << (word % 64);
+      ++occupied_;
+      s.tick = tick;
+      if (s.ids.capacity() == 0 && !pool_.empty()) {
+        s.ids = std::move(pool_.back());
+        pool_.pop_back();
+      }
+    } else {
+      DOZZ_ASSERT(s.tick == tick);  // collision-free by the window invariant
+    }
+    s.ids.push_back(id);
+    if (tick < front_tick_) front_tick_ = tick;
+  }
+
+  void push_overflow(Tick tick, RouterId id) {
+    auto it = overflow_.lower_bound(tick);
+    if (it == overflow_.end() || it->first != tick) {
+      if (spare_.empty()) {
+        it = overflow_.emplace_hint(it, tick, std::vector<RouterId>());
+      } else {
+        auto node = std::move(spare_.back());
+        spare_.pop_back();
+        node.key() = tick;
+        node.mapped().clear();
+        it = overflow_.insert(it, std::move(node));
+      }
+    }
+    it->second.push_back(id);
+  }
+
+  void recycle(OverflowMap::node_type node) {
+    if (spare_.size() < kMaxSpare) spare_.push_back(std::move(node));
+  }
+
+  /// First bitmap word with any occupied slot at or circularly after
+  /// word index `from`. Requires occupied_ > 0.
+  std::size_t next_occupied_word(std::size_t from) const {
+    std::size_t sw = from / 64;
+    std::uint64_t sbits = summary_[sw] & (~std::uint64_t{0} << (from % 64));
+    while (sbits == 0) {
+      sw = (sw + 1) & (kSummaryWords - 1);
+      sbits = summary_[sw];
+    }
+    return sw * 64 + static_cast<std::size_t>(std::countr_zero(sbits));
+  }
+
+  /// Finds the earliest occupied slot circularly from base_'s slot, via
+  /// the two-level bitmap (a summary bit per occupancy word), so the cost
+  /// is a handful of word operations no matter how sparse the wheel is.
+  /// All wheel ticks are in [base_, base_+kWindow), so circular scan order
+  /// from base_ == tick order.
+  void recompute_front() {
+    front_tick_ = kInfTick;
+    if (occupied_ == 0) return;
+    const std::size_t start = slot_of(base_);
+    std::size_t word = start / 64;
+    // First word: mask off bits below the start position.
+    std::uint64_t bits = occ_bits_[word] & (~std::uint64_t{0} << (start % 64));
+    if (bits == 0) {
+      word = next_occupied_word((word + 1) & (kWords - 1));
+      // If the search wrapped back to base_'s word, the only set bits left
+      // in it are below the start position — circularly the last ticks.
+      bits = occ_bits_[word];
+    }
+    const std::size_t slot =
+        word * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+    front_tick_ = slots_[slot].tick;
+  }
+
+  std::vector<Slot> slots_;
+  std::array<std::uint64_t, kWords> occ_bits_{};
+  std::array<std::uint64_t, kSummaryWords> summary_{};
+  std::size_t occupied_ = 0;
+  Tick base_ = 0;              ///< Window anchor; tracks the sim clock.
+  Tick front_tick_ = kInfTick; ///< Minimum wheel-resident tick.
+  OverflowMap overflow_;       ///< Ticks >= base_ + kWindow.
+  std::vector<OverflowMap::node_type> spare_;
+  std::vector<std::vector<RouterId>> pool_;  ///< Warmed bucket storage.
 };
 
 }  // namespace dozz

@@ -1,19 +1,24 @@
 // Virtual-channel input buffering with wormhole allocation state.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/ring_buffer.hpp"
 #include "src/noc/flit.hpp"
 
 namespace dozz {
 
 /// One virtual channel: a flit FIFO plus the wormhole allocation of the
 /// packet currently crossing it.
+///
+/// The FIFO is a fixed ring sized at construction: credit flow control
+/// bounds occupancy to `depth`, so the ring never grows and a flit push/pop
+/// never touches the allocator.
 class VirtualChannel {
  public:
-  explicit VirtualChannel(int depth) : depth_(depth) {
+  explicit VirtualChannel(int depth)
+      : depth_(depth), queue_(static_cast<std::size_t>(depth)) {
     DOZZ_REQUIRE(depth > 0);
   }
 
@@ -59,12 +64,13 @@ class VirtualChannel {
   }
 
   /// Buffered flits, head first (checkpoint/restore).
-  const std::deque<Flit>& flits() const { return queue_; }
+  const RingBuffer<Flit>& flits() const { return queue_; }
   /// Restores buffered flits and wormhole allocation in one shot.
-  void restore(std::deque<Flit> flits, bool allocated, int out_port,
+  void restore(const std::vector<Flit>& flits, bool allocated, int out_port,
                int out_vc) {
     DOZZ_REQUIRE(static_cast<int>(flits.size()) <= depth_);
-    queue_ = std::move(flits);
+    queue_.clear();
+    for (const Flit& f : flits) queue_.push_back(f);
     allocated_ = allocated;
     out_port_ = out_port;
     out_vc_ = out_vc;
@@ -72,7 +78,7 @@ class VirtualChannel {
 
  private:
   int depth_;
-  std::deque<Flit> queue_;
+  RingBuffer<Flit> queue_;
   bool allocated_ = false;
   int out_port_ = -1;
   int out_vc_ = -1;

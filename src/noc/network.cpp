@@ -42,6 +42,10 @@ Network::Network(const Topology& topo, const NocConfig& config,
     nics_.emplace_back(r, ctx_);
   }
   snapshots_.resize(static_cast<std::size_t>(n));
+  // An epoch boundary republishes every router's edge while the stale
+  // entries for the same tick are still in the bucket (lazy invalidation),
+  // so a bucket can briefly hold two entries per router.
+  edge_sched_.warm(2 * static_cast<std::size_t>(n));
   if (ctx_.config.faults.enabled) {
     ctx_.injector =
         std::make_unique<FaultInjector>(ctx_.config.faults, regulator);

@@ -5,9 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "src/common/ring_buffer.hpp"
 #include "src/common/time.hpp"
 #include "src/noc/flit.hpp"
 #include "src/noc/noc_config.hpp"
@@ -89,7 +89,10 @@ class NetworkInterface {
   RouterId router_;
   const Topology* topo_;
   const NocConfig* config_;
-  std::vector<std::deque<PendingPacket>> queues_;  ///< One per local slot.
+  /// One ring-backed injection queue per local slot: ready packets stream
+  /// through, so after warm-up push/pop never allocates (unlike deque's
+  /// chunk churn at block boundaries).
+  std::vector<RingBuffer<PendingPacket>> queues_;
   /// Min-heap on ready_tick, kept via std::push_heap/std::pop_heap so the
   /// raw array layout — which fixes the pop order of equal-ready_tick
   /// entries — can be checkpointed and restored verbatim.

@@ -41,17 +41,21 @@ void Network::secure(RouterId r, Tick now) {
 }
 
 void Network::punch_ahead(RouterId r, RouterId dst, Tick now) {
-  if (const auto nh = ctx_.topo->next_hop(r, dst, ctx_.config.routing))
-    secure(*nh, now);
+  if (r == dst) return;
+  secure(ctx_.routes.next_hop(r, dst), now);
 }
 
 void Network::secure_path(RouterId src, RouterId dst, Tick now) {
+  const FlatRouteTable& routes = ctx_.routes;
   RouterId cur = src;
   secure(cur, now);
   while (cur != dst) {
-    const auto nh = ctx_.topo->next_hop(cur, dst, ctx_.config.routing);
-    DOZZ_ASSERT(nh.has_value());
-    cur = *nh;
+    const RouterId nh = routes.next_hop(cur, dst);
+    if (nh == cur)
+      throw RoutingError("secure_path stuck: no forward hop from router " +
+                         std::to_string(cur) + " on path " +
+                         std::to_string(src) + " -> " + std::to_string(dst));
+    cur = nh;
     secure(cur, now);
   }
 }
@@ -162,6 +166,7 @@ void Network::handle_corrupt_tail(const Flit& tail, Tick now) {
 
 void Network::inject_matured(const std::vector<TraceEntry>& entries,
                              std::size_t& cursor, bool gating, bool punch) {
+  const Topology& topo = *ctx_.topo;
   while (cursor < entries.size() &&
          entries[cursor].inject_tick() <= ctx_.now) {
     const TraceEntry& e = entries[cursor++];
@@ -174,14 +179,16 @@ void Network::inject_matured(const std::vector<TraceEntry>& entries,
         e.is_response ? ctx_.config.response_size_flits
                       : ctx_.config.request_size_flits);
     p.inject_tick = ctx_.now;
-    const RouterId home = ctx_.topo->router_of_core(e.src);
+    const RouterId home = topo.router_of_core(e.src);
     nic(home).enqueue(p);
     ++ctx_.metrics.packets_offered;
     if (ctx_.observer != nullptr)
       ctx_.observer->on_packet_offered(ctx_.now, e.src, e.dst, e.is_response);
     if (gating) {
+      // The destination's home router is only needed on the punch path, so
+      // compute it lazily rather than per entry.
       if (punch) {
-        secure_path(home, ctx_.topo->router_of_core(e.dst), ctx_.now);
+        secure_path(home, topo.router_of_core(e.dst), ctx_.now);
       } else {
         secure(home, ctx_.now);
       }
@@ -196,8 +203,10 @@ void Network::mature_nic(NetworkInterface& n, bool gating, bool punch) {
   ctx_.metrics.packets_offered += static_cast<std::uint64_t>(matured);
   if (matured > 0 && gating) {
     if (punch) {
+      const Topology& topo = *ctx_.topo;
+      const RouterId home = n.router();
       for (CoreId dst : dsts_scratch_)
-        secure_path(n.router(), ctx_.topo->router_of_core(dst), ctx_.now);
+        secure_path(home, topo.router_of_core(dst), ctx_.now);
     } else {
       secure(n.router(), ctx_.now);
     }

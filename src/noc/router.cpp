@@ -1,6 +1,7 @@
 #include "src/noc/router.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/ckpt/state_io.hpp"
 #include "src/common/error.hpp"
@@ -23,8 +24,16 @@ Router::Router(RouterId id, const Topology& topo, const NocConfig& config,
   flit_in_.resize(static_cast<std::size_t>(ports));
   credit_in_.resize(static_cast<std::size_t>(ports));
   outputs_.resize(static_cast<std::size_t>(ports));
+  // Credit flow control bounds a link's in-flight flits (and the credits
+  // returning for them) by the receiving port's total buffer capacity, so
+  // the channel rings can be sized once here and never regrow.
+  const std::size_t inflight = static_cast<std::size_t>(config.vcs_per_port) *
+                               static_cast<std::size_t>(
+                                   config.buffer_depth_flits);
   for (int p = 0; p < ports; ++p) {
     inputs_.emplace_back(config.vcs_per_port, config.buffer_depth_flits);
+    flit_in_[static_cast<std::size_t>(p)].reserve(inflight);
+    credit_in_[static_cast<std::size_t>(p)].reserve(inflight);
     auto& out = outputs_[static_cast<std::size_t>(p)];
     out.credits.assign(static_cast<std::size_t>(config.vcs_per_port),
                        config.buffer_depth_flits);
@@ -39,13 +48,16 @@ Router::Router(RouterId id, const Topology& topo, const NocConfig& config,
   ep_port_arrivals_.assign(static_cast<std::size_t>(ports), 0);
   ep_port_departures_.assign(static_cast<std::size_t>(ports), 0);
   for (const auto& in : inputs_) total_capacity_ += in.total_capacity();
+  fast_masks_ = ports * config.vcs_per_port <= 64;
   next_edge_ = period();
 }
 
 Router::Router(RouterId id, const SimContext& ctx)
     : Router(id, *ctx.topo, ctx.config, *ctx.regulator,
              EnergyAccountant(*ctx.power, *ctx.regulator, ctx.ml_overhead),
-             ctx.policy->initial_mode()) {}
+             ctx.policy->initial_mode()) {
+  routes_ = &ctx.routes;
+}
 
 Tick Router::total_off_ticks(Tick now) const {
   Tick total = accountant_.inactive_ticks();
@@ -121,6 +133,8 @@ void Router::drain_flits(Tick now) {
       tf.flit.eligible_tick =
           now + static_cast<Tick>(config_->pipeline_stages) * period();
       vc.push(tf.flit);
+      if (fast_masks_)
+        occ_mask_ |= std::uint64_t{1} << slot_index(p, tf.vc);
       ++buffered_flits_;
       ++ep_port_arrivals_[static_cast<std::size_t>(p)];
       --inbound_inflight_;
@@ -132,76 +146,105 @@ void Router::drain_flits(Tick now) {
 int Router::compute_output_port(const Flit& flit) const {
   if (flit.dst_router == id_)
     return topo_->local_port(topo_->local_slot_of_core(flit.dst_core));
+  if (routes_ != nullptr) {
+    const std::uint8_t d = routes_->dir(id_, flit.dst_router);
+    DOZZ_ASSERT(d != FlatRouteTable::kEject);
+    return static_cast<int>(d);
+  }
   const auto dir = routing_->route(*topo_, id_, flit.dst_router);
   DOZZ_ASSERT(dir.has_value());
   return static_cast<int>(*dir);
 }
 
 void Router::route_and_allocate(Tick now, RouterEnvironment& env) {
+  if (fast_masks_) {
+    // Visit only the non-empty VCs. Ascending slot order is the same
+    // port-major (p, then v) order as the full sweep.
+    const int vcs = config_->vcs_per_port;
+    for (std::uint64_t m = occ_mask_; m != 0; m &= m - 1) {
+      const int slot = std::countr_zero(m);
+      route_vc(slot / vcs, slot % vcs, now, env);
+    }
+    return;
+  }
   for (int p = 0; p < num_ports(); ++p) {
     auto& port = inputs_[static_cast<std::size_t>(p)];
     for (int v = 0; v < port.num_vcs(); ++v) {
-      auto& vc = port.vc(v);
-      if (vc.empty()) continue;
-      const Flit& front = vc.front();
-      if (!vc.allocated()) {
-        if (!front.is_head || now < front.eligible_tick) continue;
-        const int out_port = compute_output_port(front);
-        if (is_local_port(out_port)) {
-          vc.allocate(out_port, 0);
-        } else {
-          // VC allocation: claim a free downstream VC on the chosen
-          // output, restricted to the packet's dateline class on a torus.
-          // The class resets when the packet turns into a new dimension
-          // (X and Y channel sets are disjoint resources) and moves to the
-          // escape class on the wraparound (dateline) channel itself.
-          const int classes = std::max(1, config_->vc_classes);
-          int cls = 0;
-          if (classes > 1) {
-            const auto out_dir = static_cast<Direction>(out_port);
-            int base = 0;
-            if (!is_local_port(p) &&
-                same_dimension(static_cast<Direction>(p), out_dir))
-              base = front.vc_class;
-            cls = topo_->is_wrap_link(id_, out_dir) ? 1 : base;
-            if (cls >= classes) cls = classes - 1;
-          }
-          const int per_class = config_->vcs_per_port / classes;
-          auto& out = outputs_[static_cast<std::size_t>(out_port)];
-          int claimed = -1;
-          for (int ov = cls * per_class; ov < (cls + 1) * per_class; ++ov) {
-            if (!out.vc_busy[static_cast<std::size_t>(ov)]) {
-              claimed = ov;
-              break;
-            }
-          }
-          if (claimed < 0) continue;  // retry next cycle
-          out.vc_busy[static_cast<std::size_t>(claimed)] = 1;
-          vc.allocate(out_port, claimed);
-          // Power Punch: the moment a packet commits to an output, wake the
-          // router after the next one on its path (hides T-Wakeup).
-          if (config_->lookahead_punch) {
-            const RouterId ds = neighbor_[static_cast<std::size_t>(out_port)];
-            DOZZ_ASSERT(ds >= 0);
-            env.punch_ahead(ds, front.dst_router, now);
-          }
+      if (port.vc(v).empty()) continue;
+      route_vc(p, v, now, env);
+    }
+  }
+}
+
+void Router::route_vc(int p, int v, Tick now, RouterEnvironment& env) {
+  auto& vc = inputs_[static_cast<std::size_t>(p)].vc(v);
+  const Flit& front = vc.front();
+  if (!vc.allocated()) {
+    if (!front.is_head || now < front.eligible_tick) return;
+    const int out_port = compute_output_port(front);
+    if (is_local_port(out_port)) {
+      vc.allocate(out_port, 0);
+      if (fast_masks_)
+        outputs_[static_cast<std::size_t>(out_port)].req_mask |=
+            std::uint64_t{1} << slot_index(p, v);
+    } else {
+      // VC allocation: claim a free downstream VC on the chosen
+      // output, restricted to the packet's dateline class on a torus.
+      // The class resets when the packet turns into a new dimension
+      // (X and Y channel sets are disjoint resources) and moves to the
+      // escape class on the wraparound (dateline) channel itself.
+      const int classes = std::max(1, config_->vc_classes);
+      int cls = 0;
+      if (classes > 1) {
+        const auto out_dir = static_cast<Direction>(out_port);
+        int base = 0;
+        if (!is_local_port(p) &&
+            same_dimension(static_cast<Direction>(p), out_dir))
+          base = front.vc_class;
+        cls = topo_->is_wrap_link(id_, out_dir) ? 1 : base;
+        if (cls >= classes) cls = classes - 1;
+      }
+      const int per_class = config_->vcs_per_port / classes;
+      auto& out = outputs_[static_cast<std::size_t>(out_port)];
+      int claimed = -1;
+      for (int ov = cls * per_class; ov < (cls + 1) * per_class; ++ov) {
+        if (!out.vc_busy[static_cast<std::size_t>(ov)]) {
+          claimed = ov;
+          break;
         }
       }
-      // Every buffered packet with a network output pins its downstream
-      // router on (the "not a downstream router" gating condition).
-      if (vc.allocated() && !is_local_port(vc.out_port())) {
-        const RouterId ds = neighbor_[static_cast<std::size_t>(vc.out_port())];
+      if (claimed < 0) return;  // retry next cycle
+      out.vc_busy[static_cast<std::size_t>(claimed)] = 1;
+      vc.allocate(out_port, claimed);
+      if (fast_masks_)
+        out.req_mask |= std::uint64_t{1} << slot_index(p, v);
+      // Power Punch: the moment a packet commits to an output, wake the
+      // router after the next one on its path (hides T-Wakeup).
+      if (config_->lookahead_punch) {
+        const RouterId ds = neighbor_[static_cast<std::size_t>(out_port)];
         DOZZ_ASSERT(ds >= 0);
-        env.secure(ds, now);
+        env.punch_ahead(ds, front.dst_router, now);
       }
     }
+  }
+  // Every buffered packet with a network output pins its downstream
+  // router on (the "not a downstream router" gating condition).
+  if (vc.allocated() && !is_local_port(vc.out_port())) {
+    const RouterId ds = neighbor_[static_cast<std::size_t>(vc.out_port())];
+    DOZZ_ASSERT(ds >= 0);
+    env.secure(ds, now);
   }
 }
 
 void Router::switch_allocate(Tick now, RouterEnvironment& env) {
   const int vcs = config_->vcs_per_port;
+  const int slots = num_ports() * vcs;
   std::array<char, 16> in_port_used{};
   DOZZ_ASSERT(num_ports() <= 16);
+  // Slots on input ports not yet granted this edge (the crossbar serves at
+  // most one flit per input port per cycle). Bits at or above `slots` are
+  // never set in any req_mask, so they can stay set here.
+  std::uint64_t free_slots = ~std::uint64_t{0};
 
   for (int out_port = 0; out_port < num_ports(); ++out_port) {
     auto& out = outputs_[static_cast<std::size_t>(out_port)];
@@ -214,21 +257,44 @@ void Router::switch_allocate(Tick now, RouterEnvironment& env) {
     }
 
     // Round-robin over (input port, vc) requesters.
-    const int slots = num_ports() * vcs;
     int granted = -1;
-    for (int step = 1; step <= slots; ++step) {
-      const int slot = (out.last_grant + step) % slots;
-      const int in_port = slot / vcs;
-      const int in_vc = slot % vcs;
-      if (in_port_used[static_cast<std::size_t>(in_port)]) continue;
-      auto& vc = inputs_[static_cast<std::size_t>(in_port)].vc(in_vc);
-      if (vc.empty() || !vc.allocated() || vc.out_port() != out_port) continue;
-      if (now < vc.front().eligible_tick) continue;
-      if (!local_out &&
-          out.credits[static_cast<std::size_t>(vc.out_vc())] <= 0)
-        continue;
-      granted = slot;
-      break;
+    if (fast_masks_) {
+      // Probe only the slots holding an allocation for this output, in the
+      // same circular order the full scan uses: bits at or after
+      // last_grant+1 first, then wrap to the low bits.
+      std::uint64_t cand = out.req_mask & free_slots;
+      const int start = (out.last_grant + 1) % slots;
+      while (cand != 0) {
+        const std::uint64_t ge = cand >> start;
+        const int slot = ge != 0
+                             ? start + std::countr_zero(ge)
+                             : std::countr_zero(cand);
+        auto& vc = inputs_[static_cast<std::size_t>(slot / vcs)]
+                       .vc(slot % vcs);
+        if (!vc.empty() && now >= vc.front().eligible_tick &&
+            (local_out ||
+             out.credits[static_cast<std::size_t>(vc.out_vc())] > 0)) {
+          granted = slot;
+          break;
+        }
+        cand &= ~(std::uint64_t{1} << slot);
+      }
+    } else {
+      for (int step = 1; step <= slots; ++step) {
+        const int slot = (out.last_grant + step) % slots;
+        const int in_port = slot / vcs;
+        const int in_vc = slot % vcs;
+        if (in_port_used[static_cast<std::size_t>(in_port)]) continue;
+        auto& vc = inputs_[static_cast<std::size_t>(in_port)].vc(in_vc);
+        if (vc.empty() || !vc.allocated() || vc.out_port() != out_port)
+          continue;
+        if (now < vc.front().eligible_tick) continue;
+        if (!local_out &&
+            out.credits[static_cast<std::size_t>(vc.out_vc())] <= 0)
+          continue;
+        granted = slot;
+        break;
+      }
     }
     if (granted < 0) continue;
 
@@ -236,14 +302,22 @@ void Router::switch_allocate(Tick now, RouterEnvironment& env) {
     const int in_port = granted / vcs;
     const int in_vc = granted % vcs;
     in_port_used[static_cast<std::size_t>(in_port)] = 1;
+    if (fast_masks_) {
+      free_slots &=
+          ~(((std::uint64_t{1} << vcs) - 1) << (in_port * vcs));
+    }
     auto& vc = inputs_[static_cast<std::size_t>(in_port)].vc(in_vc);
     const int out_vc = vc.out_vc();
     Flit flit = vc.pop();
     --buffered_flits_;
     DOZZ_ASSERT(buffered_flits_ >= 0);
+    if (fast_masks_ && vc.empty())
+      occ_mask_ &= ~(std::uint64_t{1} << granted);
     if (flit.is_tail) {
       if (!local_out) out.vc_busy[static_cast<std::size_t>(out_vc)] = 0;
       vc.release();
+      if (fast_masks_)
+        out.req_mask &= ~(std::uint64_t{1} << granted);
     }
 
     // Credit back to the upstream router for the slot just freed.
@@ -444,6 +518,7 @@ void Router::accept_local(int port, int vc, Flit flit, Tick now) {
   ++ep_injected_;
   ++ep_port_arrivals_[static_cast<std::size_t>(port)];
   ++buffered_flits_;
+  if (fast_masks_) occ_mask_ |= std::uint64_t{1} << slot_index(port, vc);
   channel.push(flit);
 }
 
@@ -656,32 +731,29 @@ void Router::load_state(CkptReader& r) {
       r.fail("VC count mismatch");
     for (int v = 0; v < port.num_vcs(); ++v) {
       const std::uint32_t flits = r.u32();
-      std::deque<Flit> queue;
+      std::vector<Flit> queue;
+      queue.reserve(flits);
       for (std::uint32_t i = 0; i < flits; ++i)
         queue.push_back(ckpt::load_flit(r));
       const bool allocated = r.boolean();
       const int out_port = r.i32();
       const int out_vc = r.i32();
-      port.vc(v).restore(std::move(queue), allocated, out_port, out_vc);
+      port.vc(v).restore(queue, allocated, out_port, out_vc);
     }
   }
 
   r.expect_tag("RCHN");
   if (r.u32() != flit_in_.size()) r.fail("flit channel count mismatch");
   for (auto& ch : flit_in_) {
+    ch.clear();
     const std::uint32_t n = r.u32();
-    std::deque<TimedFlit> entries;
-    for (std::uint32_t i = 0; i < n; ++i)
-      entries.push_back(ckpt::load_timed_flit(r));
-    ch.restore_entries(std::move(entries));
+    for (std::uint32_t i = 0; i < n; ++i) ch.push(ckpt::load_timed_flit(r));
   }
   if (r.u32() != credit_in_.size()) r.fail("credit channel count mismatch");
   for (auto& ch : credit_in_) {
+    ch.clear();
     const std::uint32_t n = r.u32();
-    std::deque<TimedCredit> entries;
-    for (std::uint32_t i = 0; i < n; ++i)
-      entries.push_back(ckpt::load_timed_credit(r));
-    ch.restore_entries(std::move(entries));
+    for (std::uint32_t i = 0; i < n; ++i) ch.push(ckpt::load_timed_credit(r));
   }
 
   r.expect_tag("ROUT");
@@ -691,6 +763,23 @@ void Router::load_state(CkptReader& r) {
     for (auto& c : out.credits) c = r.i32();
     for (auto& b : out.vc_busy) b = static_cast<char>(r.u8());
     out.last_grant = r.i32();
+  }
+
+  // The hot-path bitmasks are derived state: rebuild them from the
+  // restored buffers instead of serializing them (keeps the checkpoint
+  // format unchanged).
+  occ_mask_ = 0;
+  for (auto& out : outputs_) out.req_mask = 0;
+  if (fast_masks_) {
+    for (int p = 0; p < num_ports(); ++p) {
+      for (int v = 0; v < config_->vcs_per_port; ++v) {
+        const VirtualChannel& vc = inputs_[static_cast<std::size_t>(p)].vc(v);
+        const std::uint64_t bit = std::uint64_t{1} << slot_index(p, v);
+        if (!vc.empty()) occ_mask_ |= bit;
+        if (vc.allocated())
+          outputs_[static_cast<std::size_t>(vc.out_port())].req_mask |= bit;
+      }
+    }
   }
 }
 

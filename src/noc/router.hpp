@@ -24,6 +24,7 @@
 #include "src/topology/topology.hpp"
 
 namespace dozz {
+class FlatRouteTable;
 class RoutingPolicy;
 struct SimContext;
 }
@@ -215,12 +216,25 @@ class Router {
     std::vector<int> credits;       ///< Per downstream VC.
     std::vector<char> vc_busy;      ///< Downstream VC allocated to a packet.
     int last_grant = -1;            ///< Round-robin pointer over (port, vc).
+    /// Request bitmask over (input port, vc) slots: bit p*vcs+v is set while
+    /// that input VC holds an allocation targeting this output. Maintained
+    /// only when fast_masks_ (slots fit a word); lets switch allocation
+    /// probe just the requesters instead of every slot.
+    std::uint64_t req_mask = 0;
   };
 
   bool is_local_port(int port) const { return port >= kNumDirections; }
+  /// Flattened (input port, vc) slot index used by the hot-path bitmasks
+  /// and the switch allocator's round-robin pointer.
+  int slot_index(int port, int vc) const {
+    return port * config_->vcs_per_port + vc;
+  }
   void drain_credits(Tick now);
   void drain_flits(Tick now);
   void route_and_allocate(Tick now, RouterEnvironment& env);
+  /// Route compute + VC allocation + securing for one non-empty input VC
+  /// (the per-slot body of route_and_allocate).
+  void route_vc(int p, int v, Tick now, RouterEnvironment& env);
   void switch_allocate(Tick now, RouterEnvironment& env);
   int compute_output_port(const Flit& flit) const;
 
@@ -228,6 +242,11 @@ class Router {
   const Topology* topo_;
   const NocConfig* config_;
   const RoutingPolicy* routing_;  ///< resolved from config_->routing
+  /// Flat next-hop table from the SimContext; non-null on the SimContext
+  /// wiring path. The raw constructor (unit tests) leaves it null and
+  /// route compute falls back to the virtual policy — same decisions,
+  /// table lookups just skip the dispatch.
+  const FlatRouteTable* routes_ = nullptr;
   const SimoLdoRegulator* regulator_;
 
   std::array<RouterId, kNumDirections> neighbor_;  ///< -1 at mesh edges.
@@ -269,6 +288,13 @@ class Router {
   int buffered_flits_ = 0;
   std::int64_t pending_credits_ = 0;
   int total_capacity_ = 0;  ///< Sum of input buffer capacities (constant).
+
+  /// Occupancy bitmask over (input port, vc) slots: bit p*vcs+v is set
+  /// while that VC buffers at least one flit. Lets route_and_allocate and
+  /// switch_allocate visit only live slots. Only maintained when the slot
+  /// count fits one word (fast_masks_); wider configs keep the plain scans.
+  std::uint64_t occ_mask_ = 0;
+  bool fast_masks_ = false;  ///< ports * vcs_per_port <= 64.
 
   std::uint64_t epoch_occ_ = 0;
   std::uint64_t epoch_cap_ = 0;

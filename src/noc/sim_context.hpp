@@ -17,6 +17,7 @@
 #include "src/noc/stats.hpp"
 #include "src/power/power_model.hpp"
 #include "src/regulator/simo_ldo.hpp"
+#include "src/topology/routing.hpp"
 #include "src/topology/topology.hpp"
 
 namespace dozz {
@@ -33,7 +34,8 @@ struct SimContext {
              const SimoLdoRegulator& regulator_in)
       : topo(&topo_in), config(config_in), policy(&policy_in),
         power(&power_in), regulator(&regulator_in),
-        ml_overhead(policy_in.label_feature_count()) {}
+        ml_overhead(policy_in.label_feature_count()),
+        routes(topo_in, routing_policy(config_in.routing)) {}
 
   SimContext(const SimContext&) = delete;
   SimContext& operator=(const SimContext&) = delete;
@@ -45,6 +47,9 @@ struct SimContext {
   const PowerModel* power;
   const SimoLdoRegulator* regulator;
   MlOverheadModel ml_overhead;
+  /// Flat R×R next-hop table for config.routing — built once per run and
+  /// consulted per flit / per punch hop instead of the virtual policy.
+  FlatRouteTable routes;
 
   /// Non-null only when config.faults.enabled; every hook checks this
   /// pointer so fault-free runs skip the layer entirely. Owns the fault

@@ -7,7 +7,15 @@ namespace dozz {
 EnergyAccountant::EnergyAccountant(const PowerModel& power,
                                    const SimoLdoRegulator& regulator,
                                    const MlOverheadModel& ml_overhead)
-    : power_(&power), regulator_(&regulator), ml_overhead_(&ml_overhead) {}
+    : power_(&power), regulator_(&regulator), ml_overhead_(&ml_overhead) {
+  for (int m = 0; m < kNumVfModes; ++m) {
+    const VfMode mode = mode_from_index(m);
+    static_w_[static_cast<std::size_t>(m)] = power.static_power_w(mode);
+    hop_j_[static_cast<std::size_t>(m)] = power.hop_energy_j(mode);
+    eff_[static_cast<std::size_t>(m)] = regulator.simo_efficiency(mode);
+  }
+  label_j_ = ml_overhead.label_energy_j();
+}
 
 void EnergyAccountant::add_state_time(PowerState state, VfMode mode,
                                       Tick duration) {
@@ -24,22 +32,24 @@ void EnergyAccountant::add_state_time(PowerState state, VfMode mode,
       active_ticks_ += duration;
       break;
   }
-  const double joules = power_->static_power_w(mode) * seconds;
+  const std::size_t mi = static_cast<std::size_t>(mode_index(mode));
+  const double joules = static_w_[mi] * seconds;
   static_j_ += joules;
-  wall_static_j_ += joules / regulator_->simo_efficiency(mode);
+  wall_static_j_ += joules / eff_[mi];
 }
 
 void EnergyAccountant::add_hop(VfMode mode) {
   ++hops_;
-  ++hops_per_mode_[static_cast<std::size_t>(mode_index(mode))];
-  const double joules = power_->hop_energy_j(mode);
+  const std::size_t mi = static_cast<std::size_t>(mode_index(mode));
+  ++hops_per_mode_[mi];
+  const double joules = hop_j_[mi];
   dynamic_j_ += joules;
-  wall_dynamic_j_ += joules / regulator_->simo_efficiency(mode);
+  wall_dynamic_j_ += joules / eff_[mi];
 }
 
 void EnergyAccountant::add_label() {
   ++labels_;
-  ml_j_ += ml_overhead_->label_energy_j();
+  ml_j_ += label_j_;
 }
 
 double EnergyAccountant::off_fraction() const {

@@ -107,6 +107,16 @@ class EnergyAccountant {
   const SimoLdoRegulator* regulator_;
   const MlOverheadModel* ml_overhead_;
 
+  // Per-mode model values resolved once at construction. add_state_time and
+  // add_hop run on every router clock edge, and the regulator efficiency
+  // walk (vf_point -> rail_for -> rail_voltage) plus the table lookups
+  // dominate their cost; the models are immutable, so the cached values are
+  // exactly what the per-call lookups would return.
+  std::array<double, kNumVfModes> static_w_{};
+  std::array<double, kNumVfModes> hop_j_{};
+  std::array<double, kNumVfModes> eff_{};
+  double label_j_ = 0.0;
+
   double static_j_ = 0.0;
   double dynamic_j_ = 0.0;
   double ml_j_ = 0.0;

@@ -46,6 +46,30 @@ class TorusXyRouting final : public RoutingPolicy {
 
 }  // namespace
 
+FlatRouteTable::FlatRouteTable(const Topology& topo,
+                               const RoutingPolicy& policy)
+    : n_(topo.num_routers()) {
+  const std::size_t cells =
+      static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_);
+  dir_.assign(cells, kEject);
+  hop_.assign(cells, 0);
+  for (RouterId current = 0; current < n_; ++current) {
+    for (RouterId dest = 0; dest < n_; ++dest) {
+      const std::size_t i = index(current, dest);
+      if (current == dest) {
+        hop_[i] = current;
+        continue;
+      }
+      const std::optional<Direction> d = policy.route(topo, current, dest);
+      DOZZ_ASSERT(d.has_value());
+      const std::optional<RouterId> nh = topo.neighbor(current, *d);
+      DOZZ_ASSERT(nh.has_value());
+      dir_[i] = static_cast<std::uint8_t>(*d);
+      hop_[i] = *nh;
+    }
+  }
+}
+
 const RoutingPolicy& routing_policy(RoutingAlgorithm algo) {
   static const XyRouting xy;
   static const YxRouting yx;

@@ -4,8 +4,10 @@
 // format serializes as a u8) without touching src/noc/ (DESIGN.md §9).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/topology/topology.hpp"
 
@@ -34,6 +36,44 @@ class RoutingPolicy {
   virtual std::optional<Direction> route(const Topology& topo,
                                          RouterId current,
                                          RouterId dest) const = 0;
+};
+
+/// Dense R×R next-hop tables precomputed from a RoutingPolicy. Routing is
+/// deterministic and stateless, so every (current, dest) decision can be
+/// materialized once per simulation instead of paying a virtual `route`
+/// dispatch (and its coordinate arithmetic) per flit and per Power Punch
+/// path hop. Two flat arrays indexed by current * R + dest:
+///   dir: the output Direction as uint8_t, or kEject when current == dest
+///   hop: the neighbor RouterId one step along dir (current when ejecting)
+class FlatRouteTable {
+ public:
+  /// Direction slot meaning "current == dest, eject locally".
+  static constexpr std::uint8_t kEject = 0xFF;
+
+  FlatRouteTable(const Topology& topo, const RoutingPolicy& policy);
+
+  /// Output direction for (current → dest), or kEject when current == dest.
+  std::uint8_t dir(RouterId current, RouterId dest) const {
+    return dir_[index(current, dest)];
+  }
+
+  /// Next router one minimal hop from `current` toward `dest`; returns
+  /// `current` itself when current == dest.
+  RouterId next_hop(RouterId current, RouterId dest) const {
+    return hop_[index(current, dest)];
+  }
+
+  int num_routers() const { return n_; }
+
+ private:
+  std::size_t index(RouterId current, RouterId dest) const {
+    return static_cast<std::size_t>(current) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dest);
+  }
+
+  int n_;
+  std::vector<std::uint8_t> dir_;
+  std::vector<RouterId> hop_;
 };
 
 /// Singleton policy for an enum value; never fails.
