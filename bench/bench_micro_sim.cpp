@@ -164,6 +164,50 @@ void BM_NetworkStep_PowerGated_LegacyKernel(benchmark::State& state) {
 BENCHMARK(BM_NetworkStep_PowerGated_LegacyKernel)
     ->Unit(benchmark::kMillisecond);
 
+/// Thread-scaling sweep of the sharded single-run engine (DESIGN.md §11):
+/// one loaded 16x16 mesh stepped under 1/2/4/8 shards. edge_steps/s is the
+/// comparable throughput number (router edge work is identical at any
+/// shard count, unlike the engine-specific kernel-event count), and
+/// barrier_stall is the mean fraction of wall-clock the shard threads
+/// spent parked at window/epoch barriers — the protocol's scaling cost.
+void BM_NetworkStep_Sharded16x16(benchmark::State& state) {
+  const Topology topo = make_mesh(16, 16);
+  NocConfig config;
+  config.auto_response = false;
+  config.shard_threads = static_cast<int>(state.range(0));
+  PowerModel power;
+  SimoLdoRegulator regulator;
+  const std::uint64_t cycles = 2000;
+  const Trace trace = generate_synthetic_trace(
+      topo, uniform_pattern(topo.num_cores()), 0.02, cycles, 42);
+  std::uint64_t events = 0;
+  std::uint64_t steps = 0;
+  double stall = 0.0;
+  int shards = 0;
+  for (auto _ : state) {
+    BaselinePolicy policy;
+    Network net(topo, config, policy, power, regulator);
+    net.run(trace, cycles * kBaselinePeriodTicks);
+    benchmark::DoNotOptimize(net.metrics().flits_delivered);
+    events += net.kernel_events();
+    steps += net.edge_steps();
+    stall += net.shard_barrier_stall();
+    shards = net.shards_used();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * cycles * static_cast<std::uint64_t>(
+          topo.num_routers())));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["edge_steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["barrier_stall"] =
+      stall / static_cast<double>(state.iterations());
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_NetworkStep_Sharded16x16)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_BenchmarkTraceGeneration(benchmark::State& state) {
   const Topology topo = make_mesh();
   const auto& profile = benchmark_profile("canneal");

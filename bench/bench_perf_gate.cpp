@@ -25,6 +25,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -32,13 +33,17 @@ namespace {
 struct Entry {
   std::string name;
   double events_per_s = 0.0;
+  double edge_steps_per_s = 0.0;
 };
 
-// The two pinned configs: the loaded uniform-traffic mesh and the mostly
-// idle power-gated mesh — together they cover the busy hot path and the
-// idle fast paths.
+// The pinned configs: the loaded uniform-traffic mesh and the mostly idle
+// power-gated mesh cover the busy hot path and the idle fast paths; the
+// sharded 16x16 pair (sequential vs 8 shards, wall-clock timed) covers the
+// intra-run parallel engine and feeds the scaling gate below.
 const char* kPinned[] = {"BM_NetworkStep_Mesh8x8/20",
-                         "BM_NetworkStep_PowerGated"};
+                         "BM_NetworkStep_PowerGated",
+                         "BM_NetworkStep_Sharded16x16/1/real_time",
+                         "BM_NetworkStep_Sharded16x16/8/real_time"};
 
 /// Pulls the number that follows `"key": ` after position `from`.
 /// Returns NaN-free 0.0 sentinel via `ok=false` when absent.
@@ -68,7 +73,10 @@ std::vector<Entry> parse_report(const std::string& text) {
     if (until == std::string::npos) until = text.size();
     bool ok = false;
     const double v = number_after(text, "events/s", at, until, ok);
-    if (ok) out.push_back({name, v});
+    if (!ok) continue;
+    bool has_steps = false;
+    const double s = number_after(text, "edge_steps/s", at, until, has_steps);
+    out.push_back({name, v, has_steps ? s : 0.0});
   }
   return out;
 }
@@ -105,7 +113,9 @@ int main(int argc, char** argv) {
   const std::string cmd =
       "\"" + bench +
       "\" --benchmark_filter='^BM_NetworkStep_Mesh8x8/20$|"
-      "^BM_NetworkStep_PowerGated$' --benchmark_min_time=0.5 "
+      "^BM_NetworkStep_PowerGated$|"
+      "^BM_NetworkStep_Sharded16x16/(1|8)/real_time$' "
+      "--benchmark_min_time=0.5 "
       "--benchmark_out_format=json --benchmark_out=" +
       report_path + " > /dev/null";
   if (std::system(cmd.c_str()) != 0) {
@@ -169,6 +179,42 @@ int main(int argc, char** argv) {
                  "DOZZ_REGEN_BENCH=1 ctest -L perf_smoke\n",
                  kTolerance * 100);
     return 1;
+  }
+
+  // Intra-run scaling gate for the sharded engine. The router edge-step
+  // count is identical at every shard count (same simulation, same work),
+  // so the wall-clock edge_steps/s ratio between 8 shards and 1 is pure
+  // parallel speedup. The requirement only means something when the host
+  // actually has the cores; oversubscribed CI containers report and skip.
+  const Entry* shard_seq = nullptr;
+  const Entry* shard_par = nullptr;
+  for (const Entry& e : fresh) {
+    if (e.name == std::string("BM_NetworkStep_Sharded16x16/1/real_time"))
+      shard_seq = &e;
+    if (e.name == std::string("BM_NetworkStep_Sharded16x16/8/real_time"))
+      shard_par = &e;
+  }
+  if (shard_seq != nullptr && shard_par != nullptr &&
+      shard_seq->edge_steps_per_s > 0.0) {
+    const double speedup =
+        shard_par->edge_steps_per_s / shard_seq->edge_steps_per_s;
+    const unsigned cores = std::thread::hardware_concurrency();
+    std::printf("perf_gate: sharded 16x16 speedup at 8 shards: %.2fx "
+                "(%u hardware cores)\n",
+                speedup, cores);
+    constexpr double kMinSpeedup = 3.0;
+    if (cores < 8) {
+      std::printf(
+          "perf_gate: %u cores < 8; recording the ratio but skipping the "
+          "%.0fx scaling requirement (needs a >= 8-core host)\n",
+          cores, kMinSpeedup);
+    } else if (speedup < kMinSpeedup) {
+      std::fprintf(stderr,
+                   "perf_gate: sharded engine speedup %.2fx at 8 shards is "
+                   "below the required %.0fx on a %u-core host\n",
+                   speedup, kMinSpeedup, cores);
+      return 1;
+    }
   }
   return 0;
 }

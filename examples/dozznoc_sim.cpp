@@ -34,6 +34,10 @@
 //     --resume                       (restore --checkpoint before running)
 //     --timeout <seconds>            (wall-clock budget; expiry saves a
 //                                     checkpoint and aborts like a stall)
+//     --shard-threads <n>            (parallel single-run engine width,
+//                                     DESIGN.md §11; 0 = auto from
+//                                     DOZZ_SHARD_THREADS, 1 = sequential;
+//                                     reports are bit-identical at any n)
 //
 // Setting any --fault-* rate enables the fault-injection layer; with all
 // rates at zero the simulator is bit-identical to a faults-off build.
@@ -97,6 +101,7 @@ struct Options {
   std::uint64_t checkpoint_interval = 0;
   bool resume = false;
   double timeout_s = 0.0;
+  int shard_threads = 0;  ///< 0 = auto (DOZZ_SHARD_THREADS), 1 = sequential.
 };
 
 [[noreturn]] void usage_and_exit() {
@@ -109,7 +114,7 @@ struct Options {
                "  [--fault-link rate] [--fault-wake rate] [--fault-reg rate]\n"
                "  [--fault-seed n] [--watchdog epochs]\n"
                "  [--checkpoint file] [--checkpoint-interval epochs]\n"
-               "  [--resume] [--timeout seconds]\n"
+               "  [--resume] [--timeout seconds] [--shard-threads n]\n"
                "  [--list-policies | --list-topologies | --list-traffic]\n");
   std::exit(2);
 }
@@ -149,6 +154,7 @@ void apply_config(const std::string& path, Options* opt) {
     else if (key == "fault_reg") opt->fault_reg = config_get_double(c, key, 0.0);
     else if (key == "fault_seed") opt->fault_seed = config_get_u64(c, key, 0);
     else if (key == "watchdog") opt->watchdog = static_cast<int>(config_get_double(c, key, 0.0));
+    else if (key == "shard_threads") opt->shard_threads = static_cast<int>(config_get_u64(c, key, 0));
     else throw InputError("unknown config key: " + key);
   }
 }
@@ -187,6 +193,7 @@ Options parse(int argc, char** argv) {
       opt.checkpoint_interval = std::strtoull(need(i), nullptr, 10);
     else if (a == "--resume") opt.resume = true;
     else if (a == "--timeout") opt.timeout_s = std::strtod(need(i), nullptr);
+    else if (a == "--shard-threads") opt.shard_threads = std::atoi(need(i));
     else if (a == "--list-policies") list_and_exit(policy_registry());
     else if (a == "--list-topologies") list_and_exit(topology_registry());
     else if (a == "--list-traffic") list_and_exit(traffic_registry());
@@ -231,6 +238,7 @@ int main(int argc, char** argv) {
       if (opt.fault_seed != 0) f.seed = opt.fault_seed;
     }
     setup.noc.watchdog_epochs = opt.watchdog;
+    setup.noc.shard_threads = opt.shard_threads;
 
     // --- Workload ---
     Trace trace;

@@ -1,0 +1,91 @@
+// Sense-reversing barrier for the sharded simulation engine (DESIGN.md
+// §11). Two entry points: arrive_and_wait() for plain participants, and
+// arrive_serial(fn) for the coordinator, which runs `fn` alone after every
+// other participant has arrived and before any of them is released — the
+// serial section a conservative-window protocol needs at each barrier
+// (merge staged boundary traffic, pick the next window, process an epoch).
+//
+// Waiting spins briefly and then yields: shard counts beyond the core
+// count (1-core CI containers, oversubscribed sweeps) must still make
+// forward progress, just without the low-latency release a dedicated core
+// gets. The barrier itself allocates nothing and is reused every window.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "src/common/error.hpp"
+
+namespace dozz {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int participants)
+      : participants_(static_cast<std::uint32_t>(participants)) {
+    DOZZ_REQUIRE(participants >= 1);
+  }
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all `participants` have arrived this round. The last
+  /// arriver releases everyone. Release order synchronizes memory: writes
+  /// made by any participant before its arrival are visible to every
+  /// participant after the barrier.
+  void arrive_and_wait() {
+    const std::uint32_t round = sense_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(round + 1, std::memory_order_release);
+    } else {
+      wait_for_round(round);
+    }
+  }
+
+  /// Coordinator arrival: waits for the other `participants - 1` threads,
+  /// runs `fn` while they are still parked at the barrier, then releases
+  /// them. Exactly one participant per round may use this entry point. If
+  /// `fn` throws, the others are still released (the protocol must reach
+  /// its stop flag, not deadlock) and the exception propagates to the
+  /// coordinator's caller.
+  template <typename Fn>
+  void arrive_serial(Fn&& fn) {
+    const std::uint32_t round = sense_.load(std::memory_order_acquire);
+    int spins = 0;
+    while (count_.load(std::memory_order_acquire) != participants_ - 1)
+      pause(spins);
+    try {
+      fn();
+    } catch (...) {
+      release(round);
+      throw;
+    }
+    release(round);
+  }
+
+ private:
+  void release(std::uint32_t round) {
+    count_.store(0, std::memory_order_relaxed);
+    sense_.store(round + 1, std::memory_order_release);
+  }
+
+  void wait_for_round(std::uint32_t round) {
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) == round) pause(spins);
+  }
+
+  static void pause(int& spins) {
+    if (++spins < 64) return;
+    spins = 0;
+    std::this_thread::yield();
+  }
+
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> count_{0};
+  /// Round number; incrementing it releases the current round's waiters.
+  std::atomic<std::uint32_t> sense_{0};
+};
+
+}  // namespace dozz

@@ -60,9 +60,14 @@ void Network::run_loop(const Trace& trace, Tick end_tick, bool drain) {
   if (ctx_.config.collect_epoch_log) epoch_log_.reserve(epochs);
   if (ctx_.config.collect_extended_log) extended_log_.reserve(epochs);
 
-  const Tick last_event = ctx_.config.legacy_linear_kernel
-                              ? run_loop_linear(trace, end_tick, drain)
-                              : run_loop_indexed(trace, end_tick, drain);
+  const int shards = plan_shard_count();
+  shards_used_ = shards;
+  shard_stall_frac_ = 0.0;
+  const Tick last_event =
+      ctx_.config.legacy_linear_kernel
+          ? run_loop_linear(trace, end_tick, drain)
+          : (shards > 1 ? run_loop_sharded(trace, end_tick, drain, shards)
+                        : run_loop_indexed(trace, end_tick, drain));
 
   // In drain mode the run's duration is the time of the last event (the
   // final delivery); in window mode it is the fixed horizon. An interrupted
@@ -137,7 +142,12 @@ Tick Network::run_loop_linear(const Trace& trace, Tick end_tick, bool drain) {
 
 void Network::schedule_edge(RouterId r) {
   const Tick edge = routers_[static_cast<std::size_t>(r)].next_edge();
-  if (edge < kInfTick) edge_sched_.push(edge, r);
+  if (edge >= kInfTick) return;
+  if (shard_rt_ != nullptr) {
+    internal::shard_schedule_edge(*shard_rt_, r, edge);
+    return;
+  }
+  edge_sched_.push(edge, r);
 }
 
 Tick Network::edge_min() {

@@ -1,0 +1,818 @@
+// The sharded engine (DESIGN.md §11): conservative-window parallel
+// execution of one simulation, bit-identical to run_loop_indexed.
+//
+// The router-id space is split into contiguous shards (ShardPlan), each
+// owned by one thread. A shard runs the sequential kernel's per-event
+// phases over its own routers/NICs/trace-slice up to a conservative
+// horizon, staging every cross-shard effect (flit delivery, credit
+// return, Power Punch secure marks) in per-destination outboxes. At the
+// window barrier receivers apply the staged traffic, a serial section on
+// the coordinator picks the next window, and the round repeats.
+//
+// Why the windows are exact, not approximate: every cross-shard effect
+// carries an arrival tick at least one fastest-mode clock period
+// (kBaselinePeriodTicks) after the send — flit hops cost
+// link_latency_cycles >= 1 upstream periods, credits one period — so a
+// window of exactly that lookahead can never contain an event that
+// depends on in-window remote traffic. Applying the staged effects at
+// the barrier therefore leaves every channel with the same contents, in
+// the same per-channel order (each flit/credit channel has exactly one
+// sending router, hence one sending shard), as the sequential engine.
+//
+// Determinism of the merged statistics: integer counters accumulate in
+// per-shard deltas (addition commutes); the order-sensitive
+// floating-point statistics (Welford RunningStats, the latency
+// histogram) are not touched from worker threads at all — each shard
+// logs its ejections and the serial section replays them in (tick,
+// shard) order, which equals the sequential (tick, router-id) order
+// because shards are contiguous and ascending in router id.
+//
+// Eligibility (Network::plan_shard_count) excludes everything that
+// would couple shards below the lookahead or perturb report-visible
+// state: power gating (zero-latency wakes, remote state reads),
+// fault injection (one global RNG in event order), observers (global
+// event order), extended feature capture (in-window arrival counters),
+// and packet-id/VC coupling (ids must be trace-positional or VC-inert).
+// Ineligible runs silently fall back to the sequential engine.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/spin_barrier.hpp"
+#include "src/noc/network.hpp"
+#include "src/noc/network_internal.hpp"
+
+namespace dozz {
+
+namespace {
+
+/// Conservative lookahead: the minimum tick distance between a
+/// cross-shard send and its earliest visible effect. Credits bound it —
+/// a credit sent at `now` arrives at now + period(), and the fastest
+/// V/F mode's period is kBaselinePeriodTicks. Flit hops are no sooner:
+/// link_latency_cycles >= 1 upstream periods (checked at engagement).
+constexpr Tick kLookaheadTicks = kBaselinePeriodTicks;
+
+}  // namespace
+
+struct ShardRuntime {
+  /// What the next parallel round executes, published by the serial
+  /// section before the barrier release that starts the round.
+  enum class Cmd : std::uint8_t {
+    kWindow,       ///< Run local events in [w_begin_, w_end_).
+    kEpochInject,  ///< Boundary phases 1-2 (trace + responses) at t_epoch_.
+    kEpochEdges,   ///< Boundary phase 4 (clock edges due at t_epoch_).
+    kExit,         ///< Parallel phase over; workers return.
+  };
+
+  /// A staged cross-shard effect, applied by the receiving shard after
+  /// the window barrier. Arrival ticks are >= the window end by the
+  /// lookahead argument above, so deferred application is exact.
+  struct Op {
+    enum class Kind : std::uint8_t { kDeliver, kCredit, kSecure };
+    Kind kind;
+    std::uint8_t port = 0;
+    std::uint16_t vc = 0;
+    RouterId target = 0;
+    Tick tick = 0;  ///< Arrival tick (deliver/credit) or secure mark time.
+    Flit flit;      ///< Valid for kDeliver only.
+  };
+
+  /// One tail-flit ejection, logged for the serial floating-point
+  /// replay (Network::eject's RunningStat/histogram adds).
+  struct EjectRec {
+    Tick now;
+    Tick inject_tick;
+    Tick enter_tick;
+    std::uint16_t hops;
+  };
+
+  struct Shard {
+    int index = 0;
+    RouterId lo = 0, hi = 0;  ///< Owned router ids: [lo, hi).
+    EventSchedule wheel;      ///< This shard's clock-edge calendar.
+    Network::EventHeap responses;  ///< Lazy (tick, nic) heap, own NICs.
+    /// Global indices of trace entries homed at this shard's routers
+    /// (ascending, so the consumed set is always a global prefix).
+    std::vector<std::uint32_t> entry_idx;
+    std::size_t cursor = 0;  ///< Next unconsumed position in entry_idx.
+    Tick last_event = 0;     ///< Last locally processed event tick.
+    Tick next_min = kInfTick;  ///< Local next-event tick (at round end).
+    /// Per-shard packet-id stream for NIC-generated responses: seeded
+    /// next_packet_id_ + index, stepped by the shard count. Ids are
+    /// report-inert in this mode (single injectable VC), so only
+    /// uniqueness and a mergeable watermark matter.
+    std::uint64_t next_id = 0;
+    std::uint64_t id_step = 1;
+    // Counter deltas since the last serial merge (addition commutes,
+    // so per-shard accumulation + serial merge is exact).
+    std::uint64_t d_offered = 0;
+    std::uint64_t d_flits = 0;
+    std::uint64_t d_delivered = 0;
+    std::uint64_t d_requests = 0;
+    std::uint64_t d_responses = 0;
+    std::uint64_t d_events = 0;
+    std::uint64_t d_steps = 0;
+    std::vector<EjectRec> ejects;  ///< FP replay log since last merge.
+    std::vector<std::vector<Op>> out;  ///< Outboxes, one per dest shard.
+    std::vector<RouterId> due;   ///< Scratch: due router ids.
+    std::vector<RouterId> due2;  ///< Scratch: due NIC ids.
+    std::size_t replay_pos = 0;  ///< Serial merge scratch.
+    double wait_seconds = 0.0;   ///< Time parked at barriers.
+    std::exception_ptr error;
+  };
+
+  /// The per-shard RouterEnvironment: own-shard effects apply directly
+  /// (same code path as the sequential engine), cross-shard effects are
+  /// staged. Gating is off for every engaged configuration, so the wake
+  /// machinery in Network::secure is dead here and remote state() reads
+  /// race nothing (state_ changes only in the serial epoch phase).
+  class Env : public RouterEnvironment {
+   public:
+    Env(ShardRuntime& rt, Shard& s) : rt_(&rt), s_(&s) {}
+
+    bool downstream_can_accept(RouterId r) const override {
+      return rt_->net_.routers_[static_cast<std::size_t>(r)].state() ==
+             RouterState::kActive;
+    }
+
+    void secure(RouterId r, Tick now) override {
+      if (owns(r)) {
+        rt_->net_.routers_[static_cast<std::size_t>(r)].mark_secured(now);
+        return;
+      }
+      Op op;
+      op.kind = Op::Kind::kSecure;
+      op.target = r;
+      op.tick = now;
+      stage(r, op);
+    }
+
+    void punch_ahead(RouterId r, RouterId dst, Tick now) override {
+      if (r == dst) return;
+      secure(rt_->net_.ctx_.routes.next_hop(r, dst), now);
+    }
+
+    void deliver(RouterId r, int port, int vc, Tick arrival,
+                 const Flit& flit) override {
+      if (owns(r)) {
+        Router& target = rt_->net_.routers_[static_cast<std::size_t>(r)];
+        target.flit_in(port).push({arrival, vc, flit});
+        target.note_inbound();
+        return;
+      }
+      Op op;
+      op.kind = Op::Kind::kDeliver;
+      op.port = static_cast<std::uint8_t>(port);
+      op.vc = static_cast<std::uint16_t>(vc);
+      op.target = r;
+      op.tick = arrival;
+      op.flit = flit;
+      stage(r, op);
+    }
+
+    void send_credit(RouterId upstream, int port, int vc,
+                     Tick arrival) override {
+      if (owns(upstream)) {
+        Router& up = rt_->net_.routers_[static_cast<std::size_t>(upstream)];
+        up.credit_in(port).push({arrival, port, vc});
+        up.note_credit();
+        return;
+      }
+      Op op;
+      op.kind = Op::Kind::kCredit;
+      op.port = static_cast<std::uint8_t>(port);
+      op.vc = static_cast<std::uint16_t>(vc);
+      op.target = upstream;
+      op.tick = arrival;
+      stage(upstream, op);
+    }
+
+    /// Ejection always happens at the stepping router, which this shard
+    /// owns — mirror of Network::eject minus the fault/observer hooks
+    /// (both excluded at engagement), with the floating-point adds
+    /// deferred to the serial replay.
+    void eject(RouterId r, const Flit& flit, Tick now) override {
+      ++s_->d_flits;
+      if (!flit.is_tail) return;
+      Network& net = rt_->net_;
+      NetworkInterface& sink = net.nics_[static_cast<std::size_t>(r)];
+      sink.on_ejected_packet(flit);
+      ++s_->d_delivered;
+      if (flit.is_response)
+        ++s_->d_responses;
+      else
+        ++s_->d_requests;
+      s_->ejects.push_back({now, flit.inject_tick, flit.enter_tick, flit.hops});
+      if (!flit.is_response && net.ctx_.config.auto_response) {
+        const Tick ready =
+            now + ticks_from_ns(net.ctx_.config.response_delay_ns);
+        sink.schedule_response(s_->next_id, flit.dst_core, flit.src_core,
+                               ready);
+        s_->next_id += s_->id_step;
+        s_->responses.push({ready, r});
+      }
+    }
+
+   private:
+    bool owns(RouterId r) const { return r >= s_->lo && r < s_->hi; }
+    void stage(RouterId r, const Op& op) {
+      s_->out[static_cast<std::size_t>(
+                  rt_->plan_.owner[static_cast<std::size_t>(r)])]
+          .push_back(op);
+    }
+
+    ShardRuntime* rt_;
+    Shard* s_;
+  };
+
+  ShardRuntime(Network& net, const Trace& trace, int num_shards,
+               Tick end_tick, bool drain)
+      : net_(net),
+        trace_(trace),
+        plan_(make_shard_plan(static_cast<int>(net.routers_.size()),
+                              num_shards)),
+        end_tick_(end_tick),
+        drain_(drain),
+        mid_(num_shards),
+        end_(num_shards) {
+    const auto& entries = trace.entries();
+    DOZZ_REQUIRE(entries.size() <
+                 static_cast<std::size_t>(~std::uint32_t{0}));
+    trace_positional_ids_ = !net.ctx_.config.auto_response;
+    // With auto_response off the trace is the only id consumer, so the
+    // sequential engine's id for entry k is exactly 1 + k; the shards
+    // reproduce it positionally. This invariant holds on resume too
+    // (the checkpointed watermark is 1 + consumed entries).
+    if (trace_positional_ids_)
+      DOZZ_ASSERT(net.next_packet_id_ == 1 + net.trace_cursor_);
+    last_entry_tick_ = entries.empty() ? 0 : entries.back().inject_tick();
+
+    const Topology& topo = *net.ctx_.topo;
+    for (int s = 0; s < num_shards; ++s) {
+      shards_.emplace_back();
+      Shard& sh = shards_.back();
+      sh.index = s;
+      sh.lo = plan_.begin(s);
+      sh.hi = plan_.end(s);
+      // Same slack argument as the sequential calendar: an epoch
+      // republish can briefly double a bucket's entries per router.
+      sh.wheel.warm(2 * static_cast<std::size_t>(sh.hi - sh.lo));
+      sh.out.resize(static_cast<std::size_t>(num_shards));
+      sh.id_step = static_cast<std::uint64_t>(num_shards);
+      sh.next_id = net.next_packet_id_ + static_cast<std::uint64_t>(s);
+    }
+    for (std::uint32_t gi = 0;
+         gi < static_cast<std::uint32_t>(entries.size()); ++gi) {
+      const RouterId home = topo.router_of_core(entries[gi].src);
+      shards_[static_cast<std::size_t>(
+                  plan_.owner[static_cast<std::size_t>(home)])]
+          .entry_idx.push_back(gi);
+    }
+    for (auto& sh : shards_) {
+      // Resume support: entries below the checkpointed cursor are
+      // already consumed; entry_idx is ascending, so the consumed
+      // prefix of each shard's slice is a lower_bound away.
+      sh.cursor = static_cast<std::size_t>(
+          std::lower_bound(sh.entry_idx.begin(), sh.entry_idx.end(),
+                           static_cast<std::uint32_t>(net.trace_cursor_)) -
+          sh.entry_idx.begin());
+      for (RouterId r = sh.lo; r < sh.hi; ++r) {
+        const Tick e = net.routers_[static_cast<std::size_t>(r)].next_edge();
+        if (e < kInfTick) sh.wheel.push(e, r);
+        const Tick t = net.nics_[static_cast<std::size_t>(r)]
+                           .next_response_tick();
+        if (t < kInfTick) sh.responses.push({t, r});
+      }
+      sh.next_min = shard_next_min(sh);
+    }
+  }
+
+  /// Drives the whole parallel phase; on return the Network's canonical
+  /// loop state (clock, cursor, counters, statistics) is merged and the
+  /// caller can continue on the sequential engine.
+  void run() {
+    decide_next();
+    const auto wall_start = std::chrono::steady_clock::now();
+    if (cmd_ != Cmd::kExit) {
+      std::vector<std::thread> workers;
+      workers.reserve(shards_.size() - 1);
+      for (std::size_t s = 1; s < shards_.size(); ++s)
+        workers.emplace_back([this, s] { worker_loop(shards_[s]); });
+      coordinator_loop();
+      for (auto& th : workers) th.join();
+    }
+    wall_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+    if (serial_error_) std::rethrow_exception(serial_error_);
+    for (auto& sh : shards_)
+      if (sh.error) std::rethrow_exception(sh.error);
+    merge_state();
+    Tick last = net_.last_event_;
+    for (const auto& sh : shards_) last = std::max(last, sh.last_event);
+    net_.last_event_ = last;
+    net_.ctx_.now = std::max(net_.ctx_.now, last);
+  }
+
+  /// Mean fraction of the parallel phase's wall time a shard spent
+  /// parked at barriers (the coordinator's serial sections count as
+  /// worker wait — that is exactly the serialization being measured).
+  double stall_fraction() const {
+    if (wall_seconds_ <= 0.0 || shards_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& sh : shards_) sum += sh.wait_seconds;
+    const double mean = sum / static_cast<double>(shards_.size());
+    return std::min(1.0, mean / wall_seconds_);
+  }
+
+  Network& net_;
+  const Trace& trace_;
+  const ShardPlan plan_;
+  const Tick end_tick_;
+  const bool drain_;
+  std::deque<Shard> shards_;  ///< deque: EventSchedule is not movable.
+  SpinBarrier mid_;  ///< End of the work phase (outboxes complete).
+  SpinBarrier end_;  ///< End of the apply phase; hosts the serial section.
+
+  // Round command, published by the serial section; the barrier release
+  // that follows the publish orders it before every worker read.
+  Cmd cmd_ = Cmd::kExit;
+  Tick w_begin_ = 0;
+  Tick w_end_ = 0;
+  Tick t_epoch_ = 0;
+
+  bool trace_positional_ids_ = false;
+  Tick last_entry_tick_ = 0;
+  std::atomic<bool> failed_{false};
+  std::exception_ptr serial_error_;
+  double wall_seconds_ = 0.0;
+
+ private:
+  // --- Thread loops -----------------------------------------------------
+
+  void worker_loop(Shard& s) {
+    while (true) {
+      run_cmd(s);
+      timed_wait(s, mid_);
+      guarded(s, [&] { apply_inbox(s); });
+      timed_wait(s, end_);
+      if (cmd_ == Cmd::kExit) return;
+    }
+  }
+
+  void coordinator_loop() {
+    Shard& s0 = shards_[0];
+    while (true) {
+      run_cmd(s0);
+      timed_wait(s0, mid_);
+      guarded(s0, [&] { apply_inbox(s0); });
+      const auto t0 = std::chrono::steady_clock::now();
+      end_.arrive_serial([this] { serial_section(); });
+      s0.wait_seconds += std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+      if (cmd_ == Cmd::kExit) return;
+    }
+  }
+
+  void run_cmd(Shard& s) {
+    switch (cmd_) {
+      case Cmd::kWindow:
+        guarded(s, [&] { do_window(s); });
+        break;
+      case Cmd::kEpochInject:
+        guarded(s, [&] { do_epoch_inject(s); });
+        break;
+      case Cmd::kEpochEdges:
+        guarded(s, [&] { do_epoch_edges(s); });
+        break;
+      case Cmd::kExit:
+        break;
+    }
+  }
+
+  /// A shard that throws (assertion, bad_alloc) must still keep the
+  /// barrier protocol alive or every other thread deadlocks: record the
+  /// error, flag the run, and keep arriving; the serial section sees
+  /// the flag and exits the round loop.
+  template <typename Fn>
+  void guarded(Shard& s, Fn&& fn) {
+    if (failed_.load(std::memory_order_relaxed)) return;
+    try {
+      fn();
+    } catch (...) {
+      if (!s.error) s.error = std::current_exception();
+      failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  void timed_wait(Shard& s, SpinBarrier& b) {
+    const auto t0 = std::chrono::steady_clock::now();
+    b.arrive_and_wait();
+    s.wait_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+
+  // --- Parallel round bodies -------------------------------------------
+
+  /// The shard-local event loop over [w_begin_, w_end_): the sequential
+  /// kernel's phases 1, 2 and 4 restricted to this shard's routers,
+  /// NICs and trace slice. No epoch phase (windows never cross a
+  /// boundary) and no same-tick wake rehandling (gating is off, so a
+  /// step can never land a new edge at the current tick).
+  void do_window(Shard& s) {
+    Env env(*this, s);
+    const auto& entries = trace_.entries();
+    while (true) {
+      const Tick trace_next =
+          s.cursor < s.entry_idx.size()
+              ? entries[s.entry_idx[s.cursor]].inject_tick()
+              : kInfTick;
+      const Tick t =
+          std::min(std::min(trace_next, edge_min(s)), response_min(s));
+      if (t >= w_end_) {
+        s.next_min = t;
+        break;
+      }
+      DOZZ_ASSERT(t >= w_begin_);
+      s.last_event = t;
+      ++s.d_events;
+      inject_shard(s, t);
+      mature_shard(s, t);
+      step_edges(s, env, t);
+    }
+  }
+
+  /// Epoch-boundary phases 1-2 at t_epoch_ (run before process_epoch in
+  /// the serial section, exactly like the sequential boundary
+  /// iteration, so the matured work counts into the closing epoch).
+  void do_epoch_inject(Shard& s) {
+    inject_shard(s, t_epoch_);
+    mature_shard(s, t_epoch_);
+  }
+
+  /// Epoch-boundary phase 4: edges still due at t_epoch_. Routers whose
+  /// edge was republished by a mode switch now sit at t_epoch_ +
+  /// period and are correctly skipped, matching the sequential order.
+  void do_epoch_edges(Shard& s) {
+    Env env(*this, s);
+    step_edges(s, env, t_epoch_);
+    s.next_min = shard_next_min(s);
+  }
+
+  /// Applies staged ops addressed to this shard, source shards in
+  /// ascending order. Per-channel arrival order is preserved: each
+  /// flit/credit channel has a single sending router, hence a single
+  /// source shard, and each outbox is already in that shard's local
+  /// (nondecreasing-time) send order.
+  void apply_inbox(Shard& s) {
+    for (auto& src : shards_) {
+      auto& ops = src.out[static_cast<std::size_t>(s.index)];
+      for (const Op& op : ops) {
+        Router& r = net_.routers_[static_cast<std::size_t>(op.target)];
+        switch (op.kind) {
+          case Op::Kind::kDeliver:
+            r.flit_in(op.port).push({op.tick, op.vc, op.flit});
+            r.note_inbound();
+            break;
+          case Op::Kind::kCredit:
+            r.credit_in(op.port).push({op.tick, op.port, op.vc});
+            r.note_credit();
+            break;
+          case Op::Kind::kSecure:
+            r.mark_secured_merge(op.tick);
+            break;
+        }
+      }
+      ops.clear();
+    }
+  }
+
+  // --- Shard-local phase mirrors ---------------------------------------
+
+  /// Phase 1 mirror: matured entries from this shard's trace slice.
+  void inject_shard(Shard& s, Tick now) {
+    const auto& entries = trace_.entries();
+    const Topology& topo = *net_.ctx_.topo;
+    while (s.cursor < s.entry_idx.size()) {
+      const std::uint32_t gi = s.entry_idx[s.cursor];
+      const TraceEntry& e = entries[gi];
+      if (e.inject_tick() > now) break;
+      ++s.cursor;
+      PendingPacket p;
+      if (trace_positional_ids_) {
+        p.packet_id = 1 + gi;
+      } else {
+        p.packet_id = s.next_id;
+        s.next_id += s.id_step;
+      }
+      p.src_core = e.src;
+      p.dst_core = e.dst;
+      p.is_response = e.is_response;
+      p.size_flits = static_cast<std::uint16_t>(
+          e.is_response ? net_.ctx_.config.response_size_flits
+                        : net_.ctx_.config.request_size_flits);
+      p.inject_tick = now;
+      net_.nics_[static_cast<std::size_t>(topo.router_of_core(e.src))]
+          .enqueue(p);
+      ++s.d_offered;
+    }
+  }
+
+  /// Phase 2 mirror: matured responses at this shard's NICs, in NIC-id
+  /// order (heap pops sorted/uniqued exactly like the indexed kernel).
+  void mature_shard(Shard& s, Tick now) {
+    if (s.responses.empty() || s.responses.top().first > now) return;
+    s.due2.clear();
+    while (!s.responses.empty() && s.responses.top().first <= now) {
+      s.due2.push_back(s.responses.top().second);
+      s.responses.pop();
+    }
+    std::sort(s.due2.begin(), s.due2.end());
+    s.due2.erase(std::unique(s.due2.begin(), s.due2.end()), s.due2.end());
+    for (const RouterId id : s.due2) {
+      NetworkInterface& n = net_.nics_[static_cast<std::size_t>(id)];
+      if (n.next_response_tick() > now) continue;  // stale entry
+      const int matured = n.mature_responses(now, nullptr);
+      s.d_offered += static_cast<std::uint64_t>(matured);
+      if (n.next_response_tick() < kInfTick)
+        s.responses.push({n.next_response_tick(), id});
+    }
+  }
+
+  /// Phase 4 mirror: edges due at `now` from the shard calendar, in
+  /// router-id order, lazy validation as in the indexed kernel. The
+  /// same-tick wake path is structurally dead here (gating off), so
+  /// after a step the router's next edge is strictly in the future.
+  void step_edges(Shard& s, Env& env, Tick now) {
+    s.due.clear();
+    while (!s.wheel.empty() && s.wheel.front_tick() <= now) {
+      const Tick tick = s.wheel.front_tick();
+      auto& bucket = s.wheel.front_bucket();
+      if (s.due.empty()) {
+        s.due.swap(bucket);
+        std::size_t live = 0;
+        for (const RouterId id : s.due)
+          if (net_.routers_[static_cast<std::size_t>(id)].next_edge() == tick)
+            s.due[live++] = id;
+        s.due.resize(live);
+      } else {
+        for (const RouterId id : bucket)
+          if (net_.routers_[static_cast<std::size_t>(id)].next_edge() == tick)
+            s.due.push_back(id);
+      }
+      s.wheel.pop_front();
+    }
+    s.wheel.advance_to(now);
+    if (!std::is_sorted(s.due.begin(), s.due.end()))
+      std::sort(s.due.begin(), s.due.end());
+    s.due.erase(std::unique(s.due.begin(), s.due.end()), s.due.end());
+    for (const RouterId id : s.due) {
+      Router& r = net_.routers_[static_cast<std::size_t>(id)];
+      if (r.next_edge() > now) continue;  // rescheduled since collection
+      ++s.d_steps;
+      r.account_until(now);
+      r.pre_step(now);
+      net_.nics_[static_cast<std::size_t>(id)].inject_into(r, now);
+      r.pipeline_step(now, env);
+      r.post_step(now, net_.nics_[static_cast<std::size_t>(id)].has_backlog());
+      r.advance_clock(now);
+      const Tick edge = r.next_edge();
+      DOZZ_ASSERT(edge > now);
+      if (edge < kInfTick) s.wheel.push(edge, id);
+    }
+  }
+
+  // --- Local next-event selection --------------------------------------
+
+  Tick edge_min(Shard& s) {
+    while (!s.wheel.empty()) {
+      const Tick tick = s.wheel.front_tick();
+      for (const RouterId id : s.wheel.front_bucket()) {
+        const Tick edge =
+            net_.routers_[static_cast<std::size_t>(id)].next_edge();
+        if (edge == tick) return tick;
+        DOZZ_ASSERT(edge > tick);
+      }
+      s.wheel.pop_front();
+    }
+    return kInfTick;
+  }
+
+  Tick response_min(Shard& s) {
+    while (!s.responses.empty()) {
+      const auto [tick, id] = s.responses.top();
+      const Tick live =
+          net_.nics_[static_cast<std::size_t>(id)].next_response_tick();
+      if (live == tick) return tick;
+      DOZZ_ASSERT(live > tick);
+      s.responses.pop();
+    }
+    return kInfTick;
+  }
+
+  Tick shard_next_min(Shard& s) {
+    const auto& entries = trace_.entries();
+    const Tick trace_next =
+        s.cursor < s.entry_idx.size()
+            ? entries[s.entry_idx[s.cursor]].inject_tick()
+            : kInfTick;
+    return std::min(std::min(trace_next, edge_min(s)), response_min(s));
+  }
+
+  // --- Serial sections --------------------------------------------------
+
+  /// Runs on the coordinator inside the end-of-round barrier while the
+  /// workers are parked: merges what the completed round requires and
+  /// publishes the next command. Never throws — a thrown error here
+  /// would skip the command publish and deadlock the workers — so
+  /// everything is caught, recorded, and turned into kExit.
+  void serial_section() {
+    const Cmd completed = cmd_;
+    try {
+      if (failed_.load(std::memory_order_relaxed)) {
+        cmd_ = Cmd::kExit;
+        return;
+      }
+      switch (completed) {
+        case Cmd::kWindow:
+          decide_next();
+          break;
+        case Cmd::kEpochInject:
+          epoch_serial();
+          break;
+        case Cmd::kEpochEdges:
+          post_epoch_serial();
+          break;
+        case Cmd::kExit:
+          break;
+      }
+    } catch (...) {
+      serial_error_ = std::current_exception();
+      cmd_ = Cmd::kExit;
+    }
+  }
+
+  /// Picks the next round. Window bounds replicate the sequential
+  /// event-time selection: the next event is the minimum of every
+  /// shard's local next event and the epoch boundary; the run leaves
+  /// the parallel phase when that minimum reaches the horizon (or, in
+  /// drain mode, when the trace is exhausted — the sequential tail then
+  /// owns the drain-termination check, so the parallel phase can never
+  /// run past the tick where the sequential engine would have stopped).
+  void decide_next() {
+    Tick t = net_.next_epoch_;
+    for (const auto& sh : shards_) t = std::min(t, sh.next_min);
+    if (drain_) {
+      std::size_t consumed = 0;
+      for (const auto& sh : shards_) consumed += sh.cursor;
+      if (consumed >= trace_.entries().size()) {
+        cmd_ = Cmd::kExit;
+        return;
+      }
+    }
+    if (t >= end_tick_) {
+      cmd_ = Cmd::kExit;
+      return;
+    }
+    if (t == net_.next_epoch_) {
+      t_epoch_ = t;
+      cmd_ = Cmd::kEpochInject;
+      return;
+    }
+    w_begin_ = t;
+    Tick w_end = std::min(t + kLookaheadTicks,
+                          std::min(net_.next_epoch_, end_tick_));
+    // Drain mode: never open a window past the final injection — the
+    // last packet could complete inside it, and the sequential engine
+    // stops at that delivery while a window would keep ticking routers
+    // (diverging last_event_ and the per-router edge accounting).
+    if (drain_) w_end = std::min(w_end, last_entry_tick_ + 1);
+    w_end_ = w_end;
+    cmd_ = Cmd::kWindow;
+  }
+
+  /// Between the boundary's phases 1-2 and its clock edges: the exact
+  /// sequential boundary sequence — merge (the feature capture and the
+  /// watchdog read globally consistent metrics), clock to the boundary,
+  /// process the epoch (mode switches republish edges through
+  /// Network::schedule_edge into the shard calendars), advance it.
+  void epoch_serial() {
+    merge_state();
+    net_.ctx_.now = t_epoch_;
+    net_.last_event_ = t_epoch_;
+    ++net_.kernel_events_;
+    net_.process_epoch(t_epoch_);
+    net_.next_epoch_ += net_.ctx_.config.epoch_ticks();
+    cmd_ = Cmd::kEpochEdges;
+  }
+
+  /// After the boundary's clock edges: merge them, then fire the epoch
+  /// hook on fully consistent state (a checkpoint taken here is
+  /// bit-identical to one taken by the sequential engine).
+  void post_epoch_serial() {
+    merge_state();
+    if (net_.ctx_.epoch_hook &&
+        !net_.ctx_.epoch_hook(net_, t_epoch_, net_.epochs_processed_)) {
+      net_.interrupted_ = true;
+      cmd_ = Cmd::kExit;
+      return;
+    }
+    decide_next();
+  }
+
+  /// Folds every shard's deltas into the canonical counters and replays
+  /// the logged ejections into the order-sensitive statistics.
+  void merge_state() {
+    NetworkMetrics& m = net_.ctx_.metrics;
+    std::size_t consumed = 0;
+    for (auto& sh : shards_) {
+      m.packets_offered += sh.d_offered;
+      m.flits_delivered += sh.d_flits;
+      m.packets_delivered += sh.d_delivered;
+      m.requests_delivered += sh.d_requests;
+      m.responses_delivered += sh.d_responses;
+      net_.kernel_events_ += sh.d_events;
+      net_.edge_steps_ += sh.d_steps;
+      sh.d_offered = sh.d_flits = sh.d_delivered = 0;
+      sh.d_requests = sh.d_responses = 0;
+      sh.d_events = sh.d_steps = 0;
+      consumed += sh.cursor;
+      if (!trace_positional_ids_)
+        net_.next_packet_id_ = std::max(net_.next_packet_id_, sh.next_id);
+    }
+    net_.trace_cursor_ = consumed;  // consumed set is a global prefix
+    if (trace_positional_ids_) net_.next_packet_id_ = 1 + consumed;
+    std::uint64_t pending = 0;
+    for (const auto& n : net_.nics_) pending += n.pending_response_count();
+    net_.pending_responses_ = pending;
+    replay_ejections();
+  }
+
+  /// Replays ejection logs in (tick, shard) order — equal to the
+  /// sequential (tick, router-id) order because shard id ranges are
+  /// contiguous ascending and each shard's log is already in its local
+  /// processing order. Same values added in the same order means the
+  /// Welford statistics and the histogram end up bit-identical.
+  void replay_ejections() {
+    for (auto& sh : shards_) sh.replay_pos = 0;
+    while (true) {
+      Shard* best = nullptr;
+      for (auto& sh : shards_) {
+        if (sh.replay_pos >= sh.ejects.size()) continue;
+        if (best == nullptr ||
+            sh.ejects[sh.replay_pos].now <
+                best->ejects[best->replay_pos].now)
+          best = &sh;
+      }
+      if (best == nullptr) break;
+      const EjectRec& rec = best->ejects[best->replay_pos++];
+      const double latency_ns = ns_from_ticks(rec.now - rec.inject_tick);
+      net_.ctx_.metrics.packet_latency_ns.add(latency_ns);
+      net_.ctx_.latency_hist.add(latency_ns);
+      net_.ctx_.metrics.network_latency_ns.add(
+          ns_from_ticks(rec.now - rec.enter_tick));
+      net_.ctx_.metrics.packet_hops.add(static_cast<double>(rec.hops));
+    }
+    for (auto& sh : shards_) sh.ejects.clear();
+  }
+};
+
+namespace internal {
+
+void shard_schedule_edge(ShardRuntime& rt, RouterId r, Tick edge) {
+  rt.shards_[static_cast<std::size_t>(
+                 rt.plan_.owner[static_cast<std::size_t>(r)])]
+      .wheel.push(edge, r);
+}
+
+}  // namespace internal
+
+Tick Network::run_loop_sharded(const Trace& trace, Tick end_tick, bool drain,
+                               int shards) {
+  ShardRuntime rt(*this, trace, shards, end_tick, drain);
+  shard_rt_ = &rt;
+  try {
+    rt.run();
+  } catch (...) {
+    shard_rt_ = nullptr;
+    throw;
+  }
+  shard_rt_ = nullptr;
+  shard_stall_frac_ = rt.stall_fraction();
+  if (interrupted_) return last_event_;
+  // Finish on the sequential engine: the fixed-horizon case breaks out
+  // immediately (every remaining event is at or past end_tick), the
+  // drain case runs the in-flight tail to completion with the exact
+  // sequential termination check.
+  return run_loop_indexed(trace, end_tick, drain);
+}
+
+}  // namespace dozz

@@ -5,6 +5,7 @@
 // (checkpoint/restore).
 #include "src/noc/network.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/common/error.hpp"
@@ -28,6 +29,49 @@ int resolve_watchdog_epochs(const NocConfig& config) {
 }
 
 }  // namespace
+
+int resolve_shard_threads(const NocConfig& config) {
+  if (config.shard_threads > 0) return config.shard_threads;
+  if (const char* env = std::getenv("DOZZ_SHARD_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
+
+int Network::plan_shard_count() const {
+  int shards = resolve_shard_threads(ctx_.config);
+  const int routers = static_cast<int>(routers_.size());
+  if (shards > routers) shards = routers;
+  if (shards <= 1) return 1;
+  // Eligibility: the sharded engine replays the sequential kernel bit for
+  // bit only for configurations where every cross-shard interaction is
+  // deferrable by the lookahead window (DESIGN.md §11). Everything else
+  // falls back to the sequential engine rather than approximating.
+  const NocConfig& c = ctx_.config;
+  if (c.legacy_linear_kernel) return 1;
+  // Gating couples shards at zero lookahead: a wake request must take
+  // effect at the requesting tick, and gate/wake decisions read remote
+  // router state mid-window.
+  if (ctx_.policy->gating_enabled()) return 1;
+  // Extended feature capture reads per-window idle/secure counters whose
+  // exact values depend on in-window arrival visibility.
+  if (ctx_.policy->wants_extended_features() || c.collect_extended_log)
+    return 1;
+  // Fault injection draws from one global RNG stream in event order.
+  if (c.faults.enabled) return 1;
+  // Observer callbacks fire in global event order, which shards interleave.
+  if (ctx_.observer != nullptr) return 1;
+  // The lookahead window equals the minimum cross-shard latency
+  // (one fastest-mode period); zero-latency links would shrink it to zero.
+  if (c.link_latency_cycles < 1) return 1;
+  // Packet ids must be report-inert (see engine_sharded.cpp): either the
+  // NIC's id-keyed VC choice has a single candidate, or (auto_response
+  // off) ids are trace-positional and reproduced exactly.
+  const int injectable_vcs = c.vcs_per_port / std::max(1, c.vc_classes);
+  if (c.auto_response && injectable_vcs != 1) return 1;
+  return shards;
+}
 
 Network::Network(const Topology& topo, const NocConfig& config,
                  PowerController& policy, const PowerModel& power,

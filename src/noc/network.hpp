@@ -25,6 +25,8 @@
 
 namespace dozz {
 
+struct ShardRuntime;
+
 /// Observes simulation events as they happen — debugging, tracing, and
 /// custom instrumentation without touching the kernel. All callbacks have
 /// empty defaults; override what you need.
@@ -101,9 +103,22 @@ class Network : public RouterEnvironment {
 
   /// Kernel iterations executed (distinct visits to an event time; a tick
   /// can be revisited when a same-tick wake lands behind the sweep).
+  /// Engine-specific bookkeeping: under the sharded engine this is the sum
+  /// of per-shard iteration counts, not the sequential iteration count.
   std::uint64_t kernel_events() const { return kernel_events_; }
-  /// Router clock edges actually stepped.
+  /// Router clock edges actually stepped (plan-independent work measure:
+  /// identical across shard counts for the same run).
   std::uint64_t edge_steps() const { return edge_steps_; }
+
+  /// Shards the last run actually executed with: 1 when the sequential
+  /// engine ran (default, or silent fallback from an ineligible sharded
+  /// request — see NocConfig::shard_threads), else the effective shard
+  /// count. Tests assert this to distinguish a genuine parallel run from
+  /// a fallback that would make equivalence checks pass vacuously.
+  int shards_used() const { return shards_used_; }
+  /// Fraction of the parallel phase's wall time the average shard spent
+  /// waiting at window barriers (0 when the sequential engine ran).
+  double shard_barrier_stall() const { return shard_stall_frac_; }
 
   /// Installs an event observer (nullptr to remove). The observer must
   /// outlive the run.
@@ -166,6 +181,19 @@ class Network : public RouterEnvironment {
   /// visited. Bit-identical to run_loop_linear (same router-id-order
   /// tie-breaking at equal ticks). Returns the last event tick.
   Tick run_loop_indexed(const Trace& trace, Tick end_tick, bool drain);
+  /// The sharded engine (engine_sharded.cpp, DESIGN.md §11): contiguous
+  /// router-id shards run conservative lookahead windows on worker threads
+  /// and exchange boundary flits/credits at deterministic barriers.
+  /// Bit-identical to run_loop_indexed; once the trace is exhausted (drain
+  /// mode) or the parallel phase cannot advance further, merges canonical
+  /// state and finishes via run_loop_indexed. Returns the last event tick.
+  Tick run_loop_sharded(const Trace& trace, Tick end_tick, bool drain,
+                        int shards);
+  /// Effective shard count for this run: resolve_shard_threads() clamped
+  /// to the router count when the configuration is one the sharded engine
+  /// replays exactly, else 1 (sequential fallback; see
+  /// NocConfig::shard_threads for the eligibility list).
+  int plan_shard_count() const;
   void process_epoch(Tick now);
   void compile_metrics(Tick end_tick);
   /// Resilience: a tail flit failed its CRC check — count the instance and
@@ -258,6 +286,12 @@ class Network : public RouterEnvironment {
   std::uint64_t last_progress_flits_ = 0;
 
   bool indexed_ = false;  ///< Indexed kernel active (schedules maintained).
+  /// Live only while run_loop_sharded()'s parallel phase is active:
+  /// schedule_edge() then routes republished edges into the owning shard's
+  /// calendar instead of the sequential one.
+  ShardRuntime* shard_rt_ = nullptr;
+  int shards_used_ = 1;
+  double shard_stall_frac_ = 0.0;
   EventSchedule edge_sched_;
   EventHeap response_heap_;
   std::uint64_t pending_responses_ = 0;  ///< Scheduled but not yet matured.
@@ -274,6 +308,11 @@ class Network : public RouterEnvironment {
   std::vector<std::vector<double>> ext_rows_scratch_;
   std::vector<double> ext_scratch_;
   ExtendedFeatureInputs ext_in_scratch_;
+
+  /// The sharded engine lives in its own TU and drives the same private
+  /// phase state (routers, NICs, counters, schedules) as the sequential
+  /// kernels.
+  friend struct ShardRuntime;
 
   /// Cumulative-counter snapshots for per-window deltas (extended set).
   struct RouterSnapshot {

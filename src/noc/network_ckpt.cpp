@@ -2,6 +2,14 @@
 // are written once as visitor templates: the same visit_* function drives
 // both CkptWriter (SaveIo) and CkptReader (LoadIo), so the save and load
 // orders can never drift apart.
+//
+// Checkpoints are shard-plan independent (DESIGN.md §11): routers are
+// always serialized in canonical router-id order, and the sharded engine
+// only checkpoints at epoch barriers, where its state is bit-identical to
+// the sequential engine's. `shard_threads` is therefore deliberately
+// absent from both the format and the restore validation (like the
+// kernel-selection flag): a file saved under N shards restores under any
+// M, including M = 1.
 #include <algorithm>
 #include <vector>
 

@@ -49,6 +49,13 @@ class NetworkInterface {
   /// Earliest tick at which a scheduled response matures (kInfTick if none).
   Tick next_response_tick() const;
 
+  /// Responses scheduled but not yet matured at this NI. The sharded
+  /// engine derives per-shard pending counts from this after a restore,
+  /// since the checkpointed global counter is plan-independent.
+  std::size_t pending_response_count() const {
+    return pending_responses_.size();
+  }
+
   /// Moves matured responses into the injection queues; returns how many
   /// matured (the caller counts them as offered packets). If `dsts` is
   /// non-null, appends each matured response's destination core so the

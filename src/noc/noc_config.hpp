@@ -59,6 +59,19 @@ struct NocConfig {
   /// can be re-checked, then it will be removed.
   bool legacy_linear_kernel = false;
 
+  /// Intra-run parallelism: number of shard worker threads for a single
+  /// simulation (DESIGN.md §11). Each shard owns a contiguous router-id
+  /// range and its own tick-wheel calendar; shards synchronize at
+  /// conservative lookahead windows and at epoch boundaries, and results
+  /// are bit-identical to the sequential engine at any thread count.
+  /// 0 = auto (DOZZ_SHARD_THREADS env var if set, else 1); 1 = sequential
+  /// (the default engine, retained verbatim). The sharded engine engages
+  /// only for configurations it can replay exactly (non-gating policy, no
+  /// faults, no observer, no extended-feature capture, indexed kernel,
+  /// link_latency_cycles >= 1, and packet-id-inert VC selection); anything
+  /// else silently falls back to sequential — see Network::shards_used().
+  int shard_threads = 0;
+
   // --- Fault injection & resilience ---
   /// Fault layer (off by default; src/faults/fault_config.hpp). When
   /// disabled the simulation is bit-identical to a build without the layer.
@@ -73,5 +86,12 @@ struct NocConfig {
   /// that all routers share window boundaries).
   Tick epoch_ticks() const { return epoch_cycles * kBaselinePeriodTicks; }
 };
+
+/// Effective shard thread count for `config`: `config.shard_threads` when
+/// explicitly positive, else the DOZZ_SHARD_THREADS env var, else 1.
+/// Always >= 1. Defined in network.cpp next to the other env resolvers;
+/// run_batch()/run_batch_supervised() use it to split the thread budget
+/// between sweep-level and intra-run parallelism.
+int resolve_shard_threads(const NocConfig& config);
 
 }  // namespace dozz

@@ -124,6 +124,16 @@ class Router {
     ever_secured_ = true;
     ++ep_secures_;
   }
+  /// Barrier-deferred equivalent of mark_secured() for the sharded engine:
+  /// secure marks staged by other shards during a lookahead window are
+  /// applied out of call order, so the mark merges as a running max — the
+  /// same final last_secured_ a time-ordered call sequence leaves behind
+  /// (sequential calls are nondecreasing in `now`, making last = max).
+  void mark_secured_merge(Tick now) {
+    if (now > last_secured_) last_secured_ = now;
+    ever_secured_ = true;
+    ++ep_secures_;
+  }
   bool secured(Tick now) const;
   /// Applies a DVFS mode change (T-Switch stall; paper Table III).
   void set_active_mode(VfMode mode, Tick now);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/common/stats.hpp"
 #include "src/common/time.hpp"
@@ -27,6 +28,42 @@ class Network;
 
 /// Epoch-boundary checkpoint/interruption hook (see Network::set_epoch_hook).
 using EpochHook = std::function<bool(Network&, Tick, std::uint64_t)>;
+
+/// Shard plan for the intra-run parallel engine (DESIGN.md §11): router
+/// ids split into contiguous, balanced, ascending ranges — shard `s` owns
+/// [begin(s), end(s)). Contiguity in router-id order is load-bearing: a
+/// (tick, shard, within-shard) merge of shard-local event streams then
+/// equals the sequential engine's (tick, router-id) order, which is what
+/// makes the merged floating-point statistics bit-identical. On the
+/// row-major meshes/tori this produces contiguous row tiles, so the only
+/// cross-shard links are the row-boundary columns (plus wraparound).
+struct ShardPlan {
+  /// bounds[s] .. bounds[s+1] delimit shard s; bounds.size() == shards+1.
+  std::vector<RouterId> bounds;
+  /// owner[r] = shard owning router r (flat lookup for the hot path).
+  std::vector<int> owner;
+
+  int shards() const { return static_cast<int>(bounds.size()) - 1; }
+  RouterId begin(int s) const { return bounds[static_cast<std::size_t>(s)]; }
+  RouterId end(int s) const {
+    return bounds[static_cast<std::size_t>(s) + 1];
+  }
+};
+
+/// Balanced contiguous split of `num_routers` ids into `shards` ranges
+/// (every shard non-empty; requires 1 <= shards <= num_routers).
+inline ShardPlan make_shard_plan(int num_routers, int shards) {
+  ShardPlan plan;
+  plan.bounds.resize(static_cast<std::size_t>(shards) + 1);
+  for (int s = 0; s <= shards; ++s)
+    plan.bounds[static_cast<std::size_t>(s)] = static_cast<RouterId>(
+        static_cast<long long>(s) * num_routers / shards);
+  plan.owner.resize(static_cast<std::size_t>(num_routers));
+  for (int s = 0; s < shards; ++s)
+    for (RouterId r = plan.begin(s); r < plan.end(s); ++r)
+      plan.owner[static_cast<std::size_t>(r)] = s;
+  return plan;
+}
 
 struct SimContext {
   SimContext(const Topology& topo_in, const NocConfig& config_in,

@@ -32,7 +32,15 @@ std::vector<RunOutcome> run_batch(const SimSetup& setup,
   for (const BatchJob& job : jobs)
     DOZZ_REQUIRE(!(job.reactive_twin && job.weights.has_value()));
 
-  ThreadPool pool(threads == 0 ? default_thread_count() : threads);
+  // The budget (`threads`, DOZZ_THREADS, or the core count) caps *total*
+  // parallelism. Each run may itself fan out over the sharded engine's
+  // resolve_shard_threads() threads, so the sweep level gets the budget
+  // divided by the per-run width: 8 cores with 4-shard runs means 2
+  // concurrent runs, not 8 runs spawning 32 threads.
+  const unsigned budget = threads == 0 ? default_thread_count() : threads;
+  const unsigned per_run =
+      static_cast<unsigned>(resolve_shard_threads(setup.noc));
+  ThreadPool pool(budget < per_run ? 1 : budget / per_run);
 
   // Phase 1: generate each distinct trace once, in parallel. Trace
   // generation is deterministic (seeded from the benchmark name), so the
@@ -260,8 +268,13 @@ BatchResult run_batch_supervised(const SimSetup& setup,
     return result;
   }
 
-  ThreadPool pool(options.threads == 0 ? default_thread_count()
-                                       : options.threads);
+  // Same budget split as run_batch(): sweep-level concurrency times the
+  // sharded engine's per-run thread count must not exceed the budget.
+  const unsigned budget =
+      options.threads == 0 ? default_thread_count() : options.threads;
+  const unsigned per_run =
+      static_cast<unsigned>(resolve_shard_threads(setup.noc));
+  ThreadPool pool(budget < per_run ? 1 : budget / per_run);
 
   // Phase 1: shared trace generation, as in run_batch(). Only traces that
   // a not-yet-done job still needs are generated, so a fully-done resumed

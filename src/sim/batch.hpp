@@ -55,14 +55,19 @@ std::string batch_job_key(const BatchJob& job);
 
 /// Runs every job and returns outcomes in submission order. `threads == 0`
 /// uses default_thread_count() (the DOZZ_THREADS environment variable, or
-/// the hardware concurrency).
+/// the hardware concurrency). The value is a *total* thread budget: when
+/// `setup.noc` enables the sharded single-run engine, the pool width is the
+/// budget divided by resolve_shard_threads(setup.noc) (at least 1), so
+/// sweep-level and intra-run parallelism together never oversubscribe it.
 std::vector<RunOutcome> run_batch(const SimSetup& setup,
                                   const std::vector<BatchJob>& jobs,
                                   unsigned threads = 0);
 
 /// Supervision knobs for run_batch_supervised.
 struct BatchOptions {
-  /// Worker threads; 0 = default_thread_count().
+  /// Total thread budget; 0 = default_thread_count(). Divided by
+  /// resolve_shard_threads(setup.noc) to size the worker pool when the
+  /// sharded single-run engine is enabled (see run_batch()).
   unsigned threads = 0;
   /// Wall-clock budget per job attempt in seconds (0 = unlimited). Expiry
   /// raises SimStallError inside the job, which the supervisor treats as

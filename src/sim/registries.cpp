@@ -102,6 +102,26 @@ Registry<TopologySpec> build_topology_registry() {
   {
     TopologySpec spec;
     spec.description =
+        "16x16 mesh, 256 routers / 256 cores (sharded-engine scale point)";
+    spec.make = [] { return make_mesh(16, 16); };
+    spec.configure = [](NocConfig& noc, const std::string& routing_flag) {
+      if (!routing_flag.empty()) noc.routing = parse_routing_flag(routing_flag);
+    };
+    reg.add("mesh16", spec);
+  }
+  {
+    TopologySpec spec;
+    spec.description =
+        "32x32 mesh, 1024 routers / 1024 cores (sharded-engine scale point)";
+    spec.make = [] { return make_mesh(32, 32); };
+    spec.configure = [](NocConfig& noc, const std::string& routing_flag) {
+      if (!routing_flag.empty()) noc.routing = parse_routing_flag(routing_flag);
+    };
+    reg.add("mesh32", spec);
+  }
+  {
+    TopologySpec spec;
+    spec.description =
         "4x4 concentrated mesh, 16 routers / 64 cores (paper Fig. 1a)";
     spec.make = [] { return make_cmesh(); };
     spec.configure = [](NocConfig& noc, const std::string& routing_flag) {

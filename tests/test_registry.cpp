@@ -2,6 +2,7 @@
 // topology / traffic registries behind the CLI and sweep enumeration.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 
 #include "src/common/registry.hpp"
@@ -94,10 +95,20 @@ TEST(PolicyRegistry, FactoriesBuildWorkingControllers) {
 }
 
 TEST(TopologyRegistry, BuildsEveryRegisteredTopology) {
+  // The paper presets are 64-core; the sharded-engine scale points are
+  // larger square meshes with one core per router. Pinning the counts by
+  // name keeps a new registration from sneaking in without a test entry.
+  const std::map<std::string, int> expected_cores = {{"mesh", 64},
+                                                     {"mesh16", 256},
+                                                     {"mesh32", 1024},
+                                                     {"cmesh", 64},
+                                                     {"torus", 64}};
   for (const auto& [name, spec] : topology_registry()) {
     const Topology topo = spec.make();
     EXPECT_GT(topo.num_routers(), 0) << name;
-    EXPECT_EQ(topo.num_cores(), 64) << name;  // all presets are 64-core
+    const auto expected = expected_cores.find(name);
+    ASSERT_NE(expected, expected_cores.end()) << name;
+    EXPECT_EQ(topo.num_cores(), expected->second) << name;
   }
 }
 
